@@ -1,0 +1,91 @@
+// Command rmibench regenerates the paper's evaluation tables
+// (Tables 1–8 of "Compiler Optimized Remote Method Invocation").
+//
+// Usage:
+//
+//	rmibench               # all tables at test scale
+//	rmibench -scale paper  # all tables at paper-like scale (slow)
+//	rmibench -table 3      # only Table 3 (implies its stats twin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cormi/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "test", "workload scale: test | paper")
+	table := flag.Int("table", 0, "single table to regenerate (1-8); 0 = all")
+	scaling := flag.Bool("scaling", false, "run the multi-CPU scaling extension instead of the paper tables")
+	flag.Parse()
+
+	if *scaling {
+		n, bs := 256, 32
+		if *scaleName == "paper" {
+			n = 1024
+		}
+		t, err := harness.LUScaling(n, bs, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		return
+	}
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "test":
+		scale = harness.TestScale()
+	case "paper":
+		scale = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "rmibench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	emit := func(tables ...*harness.Table) {
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	}
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch *table {
+	case 0:
+		tables, err := harness.All(scale)
+		fail(err)
+		emit(tables...)
+	case 1:
+		t, err := harness.Table1(scale)
+		fail(err)
+		emit(t)
+	case 2:
+		t, err := harness.Table2(scale)
+		fail(err)
+		emit(t)
+	case 3, 4:
+		t3, t4, err := harness.Tables34(scale)
+		fail(err)
+		emit(t3, t4)
+	case 5, 6:
+		t5, t6, err := harness.Tables56(scale)
+		fail(err)
+		emit(t5, t6)
+	case 7, 8:
+		t7, t8, err := harness.Tables78(scale)
+		fail(err)
+		emit(t7, t8)
+	default:
+		fmt.Fprintf(os.Stderr, "rmibench: no table %d\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,67 @@
+package cormi
+
+import "testing"
+
+// TestFacadeRun exercises the full public pipeline: compile a MiniJP
+// program and execute its main() on a cluster through the facade.
+func TestFacadeRun(t *testing.T) {
+	prog, err := Compile(`
+remote class Counter {
+	int n;
+	int bump(int by) {
+		this.n = this.n + by;
+		return this.n;
+	}
+}
+class Main {
+	static int main() {
+		Counter c = new Counter();
+		int last = 0;
+		for (int i = 1; i <= 5; i = i + 1) {
+			last = c.bump(i);
+		}
+		return last;
+	}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range AllLevels {
+		cluster := NewCluster(2, WithRegistry(prog.Registry()))
+		v, err := prog.Run(cluster, level, "Main")
+		if err != nil {
+			cluster.Close()
+			t.Fatalf("%v: %v", level, err)
+		}
+		if v.I != 15 {
+			cluster.Close()
+			t.Fatalf("%v: main = %v, want 15", level, v)
+		}
+		cluster.Close()
+	}
+}
+
+func TestFacadeRunSharedRegistryReuse(t *testing.T) {
+	// Two machines over the same compiled program and registry must
+	// not conflict (fresh clusters, fresh interpreters).
+	prog, err := Compile(`
+remote class W { int one() { return 1; } }
+class Main {
+	static int main() {
+		W w = new W();
+		int a = w.one();
+		return a + 1;
+	}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		cluster := NewCluster(1, WithRegistry(prog.Registry()))
+		v, err := prog.Run(cluster, LevelSiteReuseCycle, "Main")
+		cluster.Close()
+		if err != nil || v.I != 2 {
+			t.Fatalf("round %d: %v %v", i, v, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package cormi_test
+
+import (
+	"fmt"
+	"log"
+
+	"cormi"
+)
+
+// Example compiles the Figure 12 array benchmark, registers its call
+// site with all three optimizations, and performs one optimized RMI.
+func Example() {
+	prog, err := cormi.Compile(`
+remote class ArrayBench {
+	double send(double[][] arr) {
+		double s = 0.0;
+		for (int i = 0; i < arr.length; i++) {
+			for (int j = 0; j < arr[i].length; j++) {
+				s += arr[i][j];
+			}
+		}
+		return s;
+	}
+}
+class Main {
+	static void main() {
+		double[][] arr = new double[16][16];
+		ArrayBench f = new ArrayBench();
+		double s = f.send(arr);
+		double use = s + 1.0;
+	}
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster := cormi.NewCluster(2, cormi.WithRegistry(prog.Registry()))
+	defer cluster.Close()
+
+	site, err := prog.Register(cluster, cormi.LevelSiteReuseCycle, "Main.main.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := cluster.Node(1).Export(&cormi.Service{
+		Name: "ArrayBench",
+		Methods: map[string]cormi.Method{
+			"send": func(call *cormi.Call, args []cormi.Value) []cormi.Value {
+				var s float64
+				for _, row := range args[0].O.Refs {
+					for _, v := range row.Doubles {
+						s += v
+					}
+				}
+				return []cormi.Value{cormi.Double(s)}
+			},
+		},
+	})
+
+	arr := cormi.NewArray(prog.Registry().MustByName("double[][]"), 2)
+	for i := range arr.Refs {
+		row := cormi.NewArray(prog.Registry().DoubleArray(), 2)
+		row.Doubles[0], row.Doubles[1] = 1, 2
+		arr.Refs[i] = row
+	}
+	rets, err := site.Invoke(cluster.Node(0), ref, []cormi.Value{cormi.RefVal(arr)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := cluster.Counters.Snapshot()
+	fmt.Printf("sum=%v cycleLookups=%d typeBytes=%d\n", rets[0].D, s.CycleLookups, s.TypeBytes)
+	// Output: sum=6 cycleLookups=0 typeBytes=0
+}
+
+// ExampleProgram_Run executes a MiniJP program end to end on the
+// cluster through the interpreter.
+func ExampleProgram_Run() {
+	prog, err := cormi.Compile(`
+remote class Adder {
+	int add(int a, int b) { return a + b; }
+}
+class Main {
+	static int main() {
+		Adder x = new Adder();
+		return x.add(40, 2);
+	}
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := cormi.NewCluster(2, cormi.WithRegistry(prog.Registry()))
+	defer cluster.Close()
+	v, err := prog.Run(cluster, cormi.LevelSiteReuseCycle, "Main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v.I)
+	// Output: 42
+}

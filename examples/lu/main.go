@@ -1,0 +1,45 @@
+// Distributed LU factorization (SPLASH-2, §5.2 / Tables 3-4): factors
+// a matrix over a 2-node RMI cluster at every optimization level,
+// verifies L·U against the original matrix, and prints the reproduced
+// tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cormi/internal/apps/lu"
+	"cormi/internal/rmi"
+)
+
+func main() {
+	n := flag.Int("n", 128, "matrix size")
+	bs := flag.Int("bs", 16, "block size")
+	nodes := flag.Int("nodes", 2, "cluster size")
+	flag.Parse()
+
+	fmt.Printf("LU: %dx%d matrix, %d blocks, %d CPU's\n", *n, *n, (*n / *bs)*(*n / *bs), *nodes)
+	fmt.Printf("%-22s %10s %9s %12s %13s %14s\n",
+		"Compiler Optimization", "seconds", "gain", "rpcs (l/r)", "new (MBytes)", "cycle lookups")
+	var base float64
+	for _, level := range rmi.AllLevels {
+		out, err := lu.Run(level, *n, *bs, *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.MaxResidual > 1e-8 {
+			log.Fatalf("factorization wrong: residual %g", out.MaxResidual)
+		}
+		if base == 0 {
+			base = out.Seconds
+		}
+		fmt.Printf("%-22s %10.4f %8.1f%% %5d/%-6d %13.2f %14d\n",
+			level, out.Seconds, 100*(base-out.Seconds)/base,
+			out.Stats.LocalRPCs, out.Stats.RemoteRPCs,
+			out.Stats.NewMBytes(), out.Stats.CycleLookups)
+	}
+	fmt.Println("\nEvery block fetch crosses the RMI machinery (fetches of locally")
+	fmt.Println("owned operands become local RPCs, which deep-clone); the residual")
+	fmt.Println("check proves the factorization is numerically correct at all levels.")
+}

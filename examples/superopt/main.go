@@ -1,0 +1,50 @@
+// Parallel superoptimizer (§5.3 / Tables 5-6): exhaustively searches
+// for shorter equivalents of a target instruction sequence, shipping
+// every candidate over RMI to tester threads, and prints both the
+// found equivalences and the per-level search times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cormi/internal/apps/superopt"
+	"cormi/internal/rmi"
+)
+
+func main() {
+	maxLen := flag.Int("len", 2, "maximum candidate sequence length")
+	flag.Parse()
+
+	p := superopt.DefaultParams()
+	p.MaxLen = *maxLen
+
+	fmt.Printf("Superoptimizer: target {%s}, sequences up to %d instructions\n", p.Target, p.MaxLen)
+
+	out, err := superopt.Search(rmi.LevelSiteReuseCycle, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d sequences tested; equivalent sequences found:\n", out.Tested)
+	for _, m := range out.Matches {
+		fmt.Printf("  { %s }\n", m)
+	}
+
+	fmt.Printf("\n%-22s %10s %9s %14s\n", "Compiler Optimization", "seconds", "gain", "cycle lookups")
+	var base float64
+	for _, level := range rmi.AllLevels {
+		o, err := superopt.Search(level, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = o.Seconds
+		}
+		fmt.Printf("%-22s %10.4f %8.1f%% %14d\n",
+			level, o.Seconds, 100*(base-o.Seconds)/base, o.Stats.CycleLookups)
+	}
+	fmt.Println("\nThe program graphs are proven cycle-free, so elimination of the")
+	fmt.Println("dynamic cycle checks is the dominant gain (as in Table 5); queued")
+	fmt.Println("programs escape the tester, so reuse contributes nothing.")
+}

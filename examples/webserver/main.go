@@ -1,0 +1,41 @@
+// Parallel webserver (§5.4 / Tables 7-8): a master forwards page
+// requests to page servers chosen by URL hash; prints µs/page per
+// optimization level and the allocation behavior that reuse removes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cormi/internal/apps/webserver"
+	"cormi/internal/rmi"
+)
+
+func main() {
+	requests := flag.Int("requests", 2000, "number of page retrievals")
+	flag.Parse()
+
+	p := webserver.DefaultParams()
+	p.Requests = *requests
+
+	fmt.Printf("Webserver: %d requests, %d pages/server, %d CPU's\n", p.Requests, p.Pages, p.Nodes)
+	fmt.Printf("%-22s %15s %9s %13s %12s\n",
+		"Compiler Optimization", "µs per Webpage", "gain", "new (MBytes)", "reused objs")
+	var base float64
+	for _, level := range rmi.AllLevels {
+		out, err := webserver.Run(level, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = out.MicrosPerPage
+		}
+		fmt.Printf("%-22s %15.2f %8.1f%% %13.2f %12d\n",
+			level, out.MicrosPerPage, 100*(base-out.MicrosPerPage)/base,
+			out.Stats.NewMBytes(), out.Stats.ReusedObjs)
+	}
+	fmt.Println("\nThe compiler proves the returned page cycle-free and reusable:")
+	fmt.Println("with all optimizations no objects are allocated after the first")
+	fmt.Println("page has been retrieved (Table 8).")
+}

@@ -1,0 +1,3 @@
+module cormi
+
+go 1.22

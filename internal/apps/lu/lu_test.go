@@ -1,0 +1,134 @@
+package lu
+
+import (
+	"testing"
+
+	"cormi/internal/core"
+	"cormi/internal/rmi"
+)
+
+func TestSequentialBlockMathAgreesWithScalarLU(t *testing.T) {
+	// Factor a small matrix with the block routines (one node path)
+	// and with plain scalar LU; both must produce the same residual
+	// behavior.
+	const n = 32
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = synth(i, j)
+			if i == j {
+				a[i][j] += n
+			}
+		}
+	}
+	luM := make([][]float64, n)
+	for i := range luM {
+		luM[i] = append([]float64(nil), a[i]...)
+	}
+	factorDiag(luM) // whole matrix as one block
+	if r := residual(a, luM, n); r > 1e-9 {
+		t.Fatalf("scalar LU residual %g", r)
+	}
+}
+
+func TestCompiledSketchVerdicts(t *testing.T) {
+	res, err := core.Compile(Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := res.SiteByName("Driver.interior.1")
+	if get == nil {
+		t.Fatal("no interior fetch site")
+	}
+	if get.RetMayCycle {
+		t.Fatal("block graph misflagged cyclic")
+	}
+	if !get.RetReusable {
+		t.Fatal("fetched block should be reusable")
+	}
+	if get.IgnoreRet {
+		t.Fatal("fetch return is used")
+	}
+	flush := res.SiteByName("Driver.main.3")
+	if flush == nil {
+		t.Fatal("no flush site")
+	}
+	if !flush.IgnoreRet {
+		t.Fatal("flush should be ack-only")
+	}
+	if !flush.ArgReusable[1] {
+		t.Fatal("flushed block is copied element-wise and should be reusable")
+	}
+	if flush.MayCycle {
+		t.Fatal("flush argument misflagged cyclic")
+	}
+}
+
+func TestLUCorrectAtAllLevels(t *testing.T) {
+	for _, level := range rmi.AllLevels {
+		out, err := Run(level, 64, 16, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if out.MaxResidual > 1e-8 {
+			t.Fatalf("%v: residual %g", level, out.MaxResidual)
+		}
+		if out.Stats.RemoteRPCs == 0 || out.Stats.LocalRPCs == 0 {
+			t.Fatalf("%v: rpc mix %d/%d", level, out.Stats.LocalRPCs, out.Stats.RemoteRPCs)
+		}
+	}
+}
+
+func TestLUTable3Shape(t *testing.T) {
+	secs := map[rmi.OptLevel]float64{}
+	var stats = map[rmi.OptLevel]int64{}
+	alloc := map[rmi.OptLevel]int64{}
+	for _, level := range rmi.AllLevels {
+		out, err := Run(level, 96, 16, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		secs[level] = out.Seconds
+		stats[level] = out.Stats.CycleLookups
+		alloc[level] = out.Stats.AllocBytes
+	}
+	// Table 3 shape: every optimization row beats class; all-on wins.
+	for _, level := range rmi.AllLevels[1:] {
+		if !(secs[level] < secs[rmi.LevelClass]) {
+			t.Fatalf("%v (%.4fs) not faster than class (%.4fs)", level, secs[level], secs[rmi.LevelClass])
+		}
+	}
+	if !(secs[rmi.LevelSiteReuseCycle] < secs[rmi.LevelSite]) {
+		t.Fatal("all optimizations should beat site alone")
+	}
+	// Table 4 shape: cycle elimination removes (essentially) all
+	// lookups; reuse slashes deserialization allocation.
+	if stats[rmi.LevelSiteCycle] != 0 || stats[rmi.LevelSiteReuseCycle] != 0 {
+		t.Fatalf("cycle lookups with elimination: %d / %d",
+			stats[rmi.LevelSiteCycle], stats[rmi.LevelSiteReuseCycle])
+	}
+	if stats[rmi.LevelClass] == 0 || stats[rmi.LevelSite] == 0 {
+		t.Fatal("baseline rows should pay cycle lookups")
+	}
+	if !(alloc[rmi.LevelSiteReuse] < alloc[rmi.LevelSite]/2) {
+		t.Fatalf("reuse should at least halve deserialization bytes: %d vs %d",
+			alloc[rmi.LevelSiteReuse], alloc[rmi.LevelSite])
+	}
+}
+
+func TestLUFourNodes(t *testing.T) {
+	out, err := Run(rmi.LevelSiteReuseCycle, 64, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxResidual > 1e-8 {
+		t.Fatalf("residual %g", out.MaxResidual)
+	}
+}
+
+func TestBadBlockSize(t *testing.T) {
+	if _, err := Run(rmi.LevelClass, 50, 16, 2); err == nil {
+		t.Fatal("n not divisible by bs accepted")
+	}
+}

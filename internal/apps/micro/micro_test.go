@@ -1,0 +1,131 @@
+package micro
+
+import (
+	"testing"
+
+	"cormi/internal/rmi"
+)
+
+func TestLinkedListAllLevels(t *testing.T) {
+	secs := map[rmi.OptLevel]float64{}
+	for _, level := range rmi.AllLevels {
+		out, err := RunLinkedList(level, 100, 20)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if out.ElementsSeen != 100 {
+			t.Fatalf("%v: receiver saw %d elements", level, out.ElementsSeen)
+		}
+		if out.Stats.RemoteRPCs != 20 {
+			t.Fatalf("%v: remote rpcs = %d", level, out.Stats.RemoteRPCs)
+		}
+		secs[level] = out.Seconds
+	}
+	// Table 1 shape: site beats class; reuse beats site; cycle rows
+	// match their cycle-less counterparts (the list stays cyclic).
+	if !(secs[rmi.LevelSite] < secs[rmi.LevelClass]) {
+		t.Fatalf("site %.6f !< class %.6f", secs[rmi.LevelSite], secs[rmi.LevelClass])
+	}
+	if !(secs[rmi.LevelSiteReuse] < secs[rmi.LevelSite]) {
+		t.Fatalf("site+reuse %.6f !< site %.6f", secs[rmi.LevelSiteReuse], secs[rmi.LevelSite])
+	}
+	relClose := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d/b < 0.02
+	}
+	if !relClose(secs[rmi.LevelSiteCycle], secs[rmi.LevelSite]) {
+		t.Fatalf("cycle elimination changed the cyclic list: %.6f vs %.6f",
+			secs[rmi.LevelSiteCycle], secs[rmi.LevelSite])
+	}
+	if !relClose(secs[rmi.LevelSiteReuseCycle], secs[rmi.LevelSiteReuse]) {
+		t.Fatalf("cycle elimination changed the cyclic list (reuse rows): %.6f vs %.6f",
+			secs[rmi.LevelSiteReuseCycle], secs[rmi.LevelSiteReuse])
+	}
+}
+
+func TestLinkedListReuseStats(t *testing.T) {
+	out, err := RunLinkedList(rmi.LevelSiteReuseCycle, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call allocates 100, the other 9 reuse 100 each.
+	if out.Stats.AllocObjects != 100 || out.Stats.ReusedObjs != 900 {
+		t.Fatalf("alloc=%d reused=%d", out.Stats.AllocObjects, out.Stats.ReusedObjs)
+	}
+	// Cycle detection stays on for the (conservatively cyclic) list.
+	if out.Stats.CycleTables == 0 {
+		t.Fatal("cycle tables eliminated for a cyclic-flagged argument")
+	}
+}
+
+func TestArrayAllLevels(t *testing.T) {
+	secs := map[rmi.OptLevel]float64{}
+	for _, level := range rmi.AllLevels {
+		out, err := RunArray(level, 16, 20)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		secs[level] = out.Seconds
+	}
+	// Table 2 shape: every optimization helps; all-enabled wins.
+	if !(secs[rmi.LevelSite] < secs[rmi.LevelClass]) {
+		t.Fatal("site not faster than class")
+	}
+	if !(secs[rmi.LevelSiteCycle] < secs[rmi.LevelSite]) {
+		t.Fatal("cycle elimination did not help the acyclic array")
+	}
+	if !(secs[rmi.LevelSiteReuse] < secs[rmi.LevelSite]) {
+		t.Fatal("reuse did not help")
+	}
+	if !(secs[rmi.LevelSiteReuseCycle] < secs[rmi.LevelSiteCycle]) ||
+		!(secs[rmi.LevelSiteReuseCycle] < secs[rmi.LevelSiteReuse]) {
+		t.Fatal("all optimizations together should win")
+	}
+}
+
+func TestArrayCycleAndReuseStats(t *testing.T) {
+	out, err := RunArray(rmi.LevelSiteReuseCycle, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.CycleTables != 0 || out.Stats.CycleLookups != 0 {
+		t.Fatalf("acyclic array still paid cycle work: %+v", out.Stats)
+	}
+	// 17 objects per message (outer + 16 rows): first call allocates,
+	// the rest reuse.
+	if out.Stats.AllocObjects != 17 || out.Stats.ReusedObjs != 9*17 {
+		t.Fatalf("alloc=%d reused=%d", out.Stats.AllocObjects, out.Stats.ReusedObjs)
+	}
+	// Site mode sends no per-object type info.
+	if out.Stats.TypeBytes != 0 {
+		t.Fatalf("type bytes = %d", out.Stats.TypeBytes)
+	}
+}
+
+func TestClassModeBaselineStats(t *testing.T) {
+	out, err := RunArray(rmi.LevelClass, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.TypeBytes == 0 || out.Stats.SerializerCalls == 0 {
+		t.Fatalf("baseline missing its overhead: %+v", out.Stats)
+	}
+	if out.Stats.ReusedObjs != 0 {
+		t.Fatal("baseline must not reuse")
+	}
+	if out.Stats.CycleTables == 0 {
+		t.Fatal("baseline always creates cycle tables")
+	}
+}
+
+func TestMismatchedSizesStillCorrect(t *testing.T) {
+	// Different sizes across runs exercise the Figure 13 resize path.
+	for _, size := range []int{4, 8, 16} {
+		if _, err := RunArray(rmi.LevelSiteReuseCycle, size, 3); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package superopt implements the parallel superoptimizer of §5.3
+// (Tables 5/6), after Massalin: a producer thread enumerates all valid
+// instruction sequences up to three instructions long and pushes them
+// over RMI to tester threads (one per machine, fed round robin through
+// bounded queues); testers execute each candidate and the target on
+// the same random register states and record sequences whose final
+// states always agree.
+//
+// A test sequence is shipped exactly as the paper describes: "a
+// program object, an instruction array object, and one to three
+// instruction objects each containing three operand objects" — an
+// acyclic graph, so the compiler removes all dynamic cycle checks; the
+// tester queues the received program, so the argument escapes and is
+// not eligible for reuse.
+package superopt
+
+import "fmt"
+
+// Op is a machine operation of the toy ISA.
+type Op uint8
+
+const (
+	OpMov   Op = iota // dst = src
+	OpAdd             // dst += src
+	OpSub             // dst -= src
+	OpAnd             // dst &= src
+	OpOr              // dst |= src
+	OpXor             // dst ^= src
+	OpNot             // dst = ^dst
+	OpNeg             // dst = -dst
+	OpShl             // dst <<= 1
+	OpShr             // dst >>= 1 (logical)
+	OpLoadI           // dst = imm
+)
+
+var opNames = [...]string{"mov", "add", "sub", "and", "or", "xor", "not", "neg", "shl", "shr", "loadi"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// IsBinary reports whether the op reads a source register.
+func (o Op) IsBinary() bool {
+	switch o {
+	case OpMov, OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// IsImm reports whether the op takes an immediate.
+func (o Op) IsImm() bool { return o == OpLoadI }
+
+// Insn is one instruction.
+type Insn struct {
+	Op       Op
+	Dst, Src int
+	Imm      int64
+}
+
+func (i Insn) String() string {
+	switch {
+	case i.Op.IsBinary():
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Dst, i.Src)
+	case i.Op.IsImm():
+		return fmt.Sprintf("%s r%d, #%d", i.Op, i.Dst, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d", i.Op, i.Dst)
+	}
+}
+
+// Seq is an instruction sequence.
+type Seq []Insn
+
+func (s Seq) String() string {
+	out := ""
+	for i, in := range s {
+		if i > 0 {
+			out += "; "
+		}
+		out += in.String()
+	}
+	return out
+}
+
+// Eval executes the sequence on regs in place.
+func (s Seq) Eval(regs []int64) {
+	for _, in := range s {
+		switch in.Op {
+		case OpMov:
+			regs[in.Dst] = regs[in.Src]
+		case OpAdd:
+			regs[in.Dst] += regs[in.Src]
+		case OpSub:
+			regs[in.Dst] -= regs[in.Src]
+		case OpAnd:
+			regs[in.Dst] &= regs[in.Src]
+		case OpOr:
+			regs[in.Dst] |= regs[in.Src]
+		case OpXor:
+			regs[in.Dst] ^= regs[in.Src]
+		case OpNot:
+			regs[in.Dst] = ^regs[in.Dst]
+		case OpNeg:
+			regs[in.Dst] = -regs[in.Dst]
+		case OpShl:
+			regs[in.Dst] <<= 1
+		case OpShr:
+			regs[in.Dst] = int64(uint64(regs[in.Dst]) >> 1)
+		case OpLoadI:
+			regs[in.Dst] = in.Imm
+		}
+	}
+}
+
+// xorshift is a tiny deterministic PRNG so producers and testers agree
+// on test vectors without sharing state.
+type xorshift uint64
+
+func (x *xorshift) next() int64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return int64(v)
+}
+
+// Equivalent tests observational equivalence of two sequences on
+// `trials` random register states over nregs registers.
+func Equivalent(a, b Seq, nregs, trials int, seed uint64) bool {
+	rng := xorshift(seed | 1)
+	ra := make([]int64, nregs)
+	rb := make([]int64, nregs)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < nregs; i++ {
+			v := rng.next()
+			ra[i], rb[i] = v, v
+		}
+		a.Eval(ra)
+		b.Eval(rb)
+		for i := 0; i < nregs; i++ {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Enumerate produces every valid single instruction over the given op
+// set, register count and immediate pool.
+func Enumerate(ops []Op, nregs int, imms []int64) []Insn {
+	var out []Insn
+	for _, op := range ops {
+		for dst := 0; dst < nregs; dst++ {
+			switch {
+			case op.IsBinary():
+				for src := 0; src < nregs; src++ {
+					out = append(out, Insn{Op: op, Dst: dst, Src: src})
+				}
+			case op.IsImm():
+				for _, imm := range imms {
+					out = append(out, Insn{Op: op, Dst: dst, Imm: imm})
+				}
+			default:
+				out = append(out, Insn{Op: op, Dst: dst})
+			}
+		}
+	}
+	return out
+}

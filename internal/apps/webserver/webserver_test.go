@@ -1,0 +1,129 @@
+package webserver
+
+import (
+	"testing"
+
+	"cormi/internal/core"
+	"cormi/internal/rmi"
+)
+
+func TestSketchVerdicts(t *testing.T) {
+	res, err := core.Compile(Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := res.SiteByName("Main.handle.1")
+	if get == nil {
+		t.Fatal("no get_page site")
+	}
+	if get.RetMayCycle {
+		t.Fatal("page graph misflagged cyclic (paper: both proven cycle free)")
+	}
+	if !get.RetReusable {
+		t.Fatal("returned page should be reusable (paper: 'determined to be reusable')")
+	}
+	if get.IgnoreRet {
+		t.Fatal("page return is used")
+	}
+	p := get.RetPlans[0]
+	if p.Root == nil || p.Root.Class.Name != "Page" {
+		t.Fatalf("page plan: %+v", p.Root)
+	}
+	// Page.hdr is inlined as a known Header.
+	found := false
+	for _, s := range p.Root.Steps {
+		if s.FieldName == "hdr" && s.Target != nil && s.Target.Class.Name == "Header" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hdr not inlined: %+v", p.Root.Steps)
+	}
+}
+
+func TestServeAllLevels(t *testing.T) {
+	micros := map[rmi.OptLevel]float64{}
+	for _, level := range rmi.AllLevels {
+		out, err := Run(level, DefaultParams())
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if out.Requests != 200 {
+			t.Fatalf("%v: served %d", level, out.Requests)
+		}
+		// Table 8 split: servers on both machines → a local/remote mix.
+		if out.Stats.LocalRPCs == 0 || out.Stats.RemoteRPCs == 0 {
+			t.Fatalf("%v: rpc mix %d/%d", level, out.Stats.LocalRPCs, out.Stats.RemoteRPCs)
+		}
+		micros[level] = out.MicrosPerPage
+	}
+	// Table 7 shape: site < class; cycle elimination is the biggest
+	// single step; all optimizations win overall.
+	if !(micros[rmi.LevelSite] < micros[rmi.LevelClass]) {
+		t.Fatal("site not faster than class")
+	}
+	if !(micros[rmi.LevelSiteCycle] < micros[rmi.LevelSite]) {
+		t.Fatal("cycle elimination did not help")
+	}
+	if !(micros[rmi.LevelSiteReuseCycle] < micros[rmi.LevelSiteReuse]) ||
+		!(micros[rmi.LevelSiteReuseCycle] < micros[rmi.LevelSiteCycle]) {
+		t.Fatal("all optimizations should win")
+	}
+}
+
+func TestReuseEliminatesAllocations(t *testing.T) {
+	// Table 8: "with object reuse enabled no new objects are created
+	// after the first webpage has been retrieved". Local RPCs clone
+	// through the same serializers, so they reuse as well.
+	p := DefaultParams()
+	out, err := Run(rmi.LevelSiteReuseCycle, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := out.Stats.RemoteRPCs + out.Stats.LocalRPCs
+	if out.Stats.ReusedObjs != 2*(total-1) {
+		t.Fatalf("reused %d objects over %d rpcs", out.Stats.ReusedObjs, total)
+	}
+	if out.Stats.AllocObjects != 2 {
+		t.Fatalf("allocated %d objects; only the first page should allocate", out.Stats.AllocObjects)
+	}
+	if out.Stats.CycleTables != 0 || out.Stats.CycleLookups != 0 {
+		t.Fatalf("cycle work despite elimination: %+v", out.Stats)
+	}
+
+	// Baseline allocates on every retrieval and hashes every object.
+	base, err := Run(rmi.LevelClass, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.ReusedObjs != 0 || base.Stats.AllocBytes <= out.Stats.AllocBytes {
+		t.Fatalf("baseline alloc %d vs optimized %d", base.Stats.AllocBytes, out.Stats.AllocBytes)
+	}
+	if base.Stats.CycleLookups == 0 {
+		t.Fatal("baseline should pay cycle lookups")
+	}
+}
+
+func TestSingleNodeAllLocal(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 1
+	p.Requests = 50
+	out, err := Run(rmi.LevelSiteReuseCycle, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.RemoteRPCs != 0 || out.Stats.LocalRPCs != 50 {
+		t.Fatalf("rpc mix %d/%d", out.Stats.LocalRPCs, out.Stats.RemoteRPCs)
+	}
+}
+
+func TestBodyDeterministic(t *testing.T) {
+	a := body("/x.html", 512)
+	b := body("/x.html", 512)
+	if a != b || len(a) != 512 {
+		t.Fatal("body not deterministic")
+	}
+	if body("/y.html", 512) == a {
+		t.Fatal("distinct urls share bodies")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"cormi/internal/lang"
+	"cormi/internal/model"
+)
+
+// defineModelClasses registers a runtime model.Class for every MiniJP
+// class (supers first, so inheritance layouts flatten correctly).
+// Static fields are runtime globals and not part of the serialized
+// layout, so they are skipped.
+func (r *Result) defineModelClasses() error {
+	var define func(cd *lang.ClassDecl) (*model.Class, error)
+	define = func(cd *lang.ClassDecl) (*model.Class, error) {
+		if mc, ok := r.classOf[cd]; ok {
+			return mc, nil
+		}
+		var super *model.Class
+		if cd.Super != nil {
+			s, err := define(cd.Super)
+			if err != nil {
+				return nil, err
+			}
+			super = s
+		}
+		// Reuse an existing registration (shared registries across
+		// compiles of the same source).
+		if existing, ok := r.Registry.ByName(cd.Name); ok {
+			r.classOf[cd] = existing
+			return existing, nil
+		}
+		mc, err := r.Registry.Define(cd.Name, super)
+		if err != nil {
+			return nil, err
+		}
+		r.classOf[cd] = mc
+		return mc, nil
+	}
+	for _, cd := range r.Lang.File.Classes {
+		if _, err := define(cd); err != nil {
+			return err
+		}
+	}
+	// Second pass: fields (self-referential classes need the class
+	// object to exist first).
+	for _, cd := range r.Lang.File.Classes {
+		mc := r.classOf[cd]
+		if len(mc.Fields) > 0 {
+			continue // already populated via a shared registry
+		}
+		for _, fd := range cd.Fields {
+			if fd.Static {
+				continue
+			}
+			kind, class, err := r.modelType(fd.Type)
+			if err != nil {
+				return fmt.Errorf("field %s.%s: %w", cd.Name, fd.Name, err)
+			}
+			mc.Fields = append(mc.Fields, model.Field{Name: fd.Name, Kind: kind, Class: class})
+		}
+	}
+	return nil
+}
+
+// modelType maps a MiniJP type to the runtime value model.
+func (r *Result) modelType(t lang.Type) (model.FieldKind, *model.Class, error) {
+	switch tt := t.(type) {
+	case *lang.PrimType:
+		switch tt.Kind {
+		case lang.PInt:
+			return model.FInt, nil, nil
+		case lang.PDouble:
+			return model.FDouble, nil, nil
+		case lang.PBoolean:
+			return model.FBool, nil, nil
+		case lang.PString:
+			return model.FString, nil, nil
+		}
+		return 0, nil, fmt.Errorf("type %s has no runtime representation", t)
+	case *lang.ClassType:
+		mc, ok := r.classOf[tt.Decl]
+		if !ok {
+			return 0, nil, fmt.Errorf("class %s not yet defined", tt.Decl.Name)
+		}
+		return model.FRef, mc, nil
+	case *lang.ArrayType:
+		mc, err := r.arrayClass(tt)
+		if err != nil {
+			return 0, nil, err
+		}
+		return model.FRef, mc, nil
+	}
+	return 0, nil, fmt.Errorf("unsupported type %s", t)
+}
+
+// arrayClass returns the model class for a MiniJP array type.
+func (r *Result) arrayClass(t *lang.ArrayType) (*model.Class, error) {
+	switch et := t.Elem.(type) {
+	case *lang.PrimType:
+		switch et.Kind {
+		case lang.PDouble:
+			return r.Registry.DoubleArray(), nil
+		case lang.PInt:
+			return r.Registry.IntArray(), nil
+		case lang.PBoolean:
+			return r.Registry.IntArray(), nil // booleans pack as ints
+		default:
+			return nil, fmt.Errorf("unsupported array element type %s", t.Elem)
+		}
+	case *lang.ClassType:
+		mc, ok := r.classOf[et.Decl]
+		if !ok {
+			return nil, fmt.Errorf("class %s not yet defined", et.Decl.Name)
+		}
+		return r.Registry.ArrayOf(mc), nil
+	case *lang.ArrayType:
+		inner, err := r.arrayClass(et)
+		if err != nil {
+			return nil, err
+		}
+		return r.Registry.ArrayOf(inner), nil
+	}
+	return nil, fmt.Errorf("unsupported array type %s", t)
+}
+
+// langFields returns the flattened non-static field declarations in
+// the same order as the model class layout (supers first).
+func langFields(cd *lang.ClassDecl) []*lang.FieldDecl {
+	var out []*lang.FieldDecl
+	if cd.Super != nil {
+		out = append(out, langFields(cd.Super)...)
+	}
+	for _, fd := range cd.Fields {
+		if !fd.Static {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cormi/internal/heap"
+	"cormi/internal/model"
+)
+
+// DumpSite renders one call site's analysis results and generated
+// marshaler pseudocode (Figures 6 and 13).
+func (r *Result) DumpSite(si *SiteInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== call site %s -> %s ===\n", si.Name, si.Callee.QualifiedName())
+	fmt.Fprintf(&b, "may-cycle: %v    return ignored: %v\n", si.MayCycle, si.IgnoreRet)
+	for i, p := range si.ArgPlans {
+		fmt.Fprintf(&b, "arg %d: reusable=%v\n%s", i, si.ArgReusable[i], p.Pseudocode())
+	}
+	for _, p := range si.RetPlans {
+		fmt.Fprintf(&b, "return: reusable=%v may-cycle=%v\n%s", si.RetReusable, si.RetMayCycle, p.Pseudocode())
+	}
+	return b.String()
+}
+
+// DumpHeapForSite renders the heap graph of a call site's arguments in
+// the style of Figure 2.
+func (r *Result) DumpHeapForSite(si *SiteInfo) string {
+	if si.Site == nil {
+		return "(dead call site)\n"
+	}
+	roots := heap.NodeSet{}
+	args := si.Site.Args
+	if !si.Callee.Static {
+		args = args[1:]
+	}
+	for _, a := range args {
+		roots.AddAll(r.Heap.PointsTo(a))
+	}
+	return r.Heap.DumpGraph(roots)
+}
+
+// ClassSpecificPseudocode renders the baseline per-class serializer of
+// a model class in the style of Figure 7 — the code the paper's
+// optimization replaces: explicit type information, recursive dynamic
+// serializer invocations.
+func ClassSpecificPseudocode(mc *model.Class) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// compiler inserts this method into class %s:\n", mc.Name)
+	fmt.Fprintf(&b, "void %s.serialize(Message m) {\n", mc.Name)
+	b.WriteString("    write_type(this); // explicit per-object type information\n")
+	switch mc.Kind {
+	case model.KObject:
+		for _, f := range mc.AllFields() {
+			switch f.Kind {
+			case model.FRef:
+				fmt.Fprintf(&b, "    this.%s.serialize(m); // note: recursive dynamic call\n", f.Name)
+			default:
+				fmt.Fprintf(&b, "    write_%s(this.%s);\n", f.Kind, f.Name)
+			}
+		}
+	case model.KRefArray:
+		b.WriteString("    write_int(this.length);\n")
+		b.WriteString("    for (int i = 0; i < this.length; i++) {\n")
+		b.WriteString("        this[i].serialize(m); // note: recursive dynamic call\n")
+		b.WriteString("    }\n")
+	default:
+		fmt.Fprintf(&b, "    write_%s_payload(this);\n", mc.Kind)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DumpAll renders every live call site's analysis, heap graph and
+// generated code: the rmic -dump-code output.
+func (r *Result) DumpAll() string {
+	var b strings.Builder
+	for _, si := range r.Sites {
+		if si.Dead {
+			continue
+		}
+		b.WriteString(r.DumpSite(si))
+		b.WriteString("heap graph at site:\n")
+		b.WriteString(r.DumpHeapForSite(si))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SSA dumps all lowered functions (rmic -dump-ssa).
+func (r *Result) SSA() string {
+	var b strings.Builder
+	for _, f := range r.IR.Funcs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

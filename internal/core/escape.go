@@ -1,0 +1,175 @@
+package core
+
+import (
+	"cormi/internal/heap"
+	"cormi/internal/ir"
+)
+
+// escapeState caches program-wide escape seeds shared by all per-site
+// queries.
+type escapeState struct {
+	// globalReach is everything reachable from a static variable; any
+	// overlap means the graph outlives the invocation (Figure 11).
+	globalReach heap.NodeSet
+}
+
+func (r *Result) escapeState() *escapeState {
+	return &escapeState{globalReach: r.Heap.Reach(r.Heap.GlobalSeeds())}
+}
+
+// graphEscapes implements the RMI-specific escape analysis of §3.3 for
+// an object graph that should die when its invocation finishes: the
+// graph escapes if any of its nodes
+//
+//   - is reachable from a static variable (stored to a global,
+//     directly or transitively — Figure 11),
+//   - is reachable from one of the extra lifetime roots (the remote
+//     receiver's own object graph, or the callee's return value for
+//     argument reuse: a returned argument flows back to the caller),
+//   - or is stored into a field of any object outside the graph
+//     (conservatively, the heap location may outlive the call).
+//
+// Note the recursive rule the paper highlights: an object escapes if
+// anything it (transitively) references escapes — which holds here
+// because `graph` is the full reachable set of the argument.
+func (r *Result) graphEscapes(es *escapeState, graph heap.NodeSet, extraRoots []heap.NodeSet) bool {
+	if len(graph) == 0 {
+		return false
+	}
+	for id := range graph {
+		if es.globalReach.Has(id) {
+			return true
+		}
+	}
+	for _, roots := range extraRoots {
+		reach := r.Heap.Reach(roots)
+		for id := range graph {
+			if reach.Has(id) {
+				return true
+			}
+		}
+	}
+	// Stored into a node outside the graph?
+	for i := range r.Heap.Nodes {
+		id := heap.NodeID(i)
+		if graph.Has(id) {
+			continue
+		}
+		for _, key := range fieldKeys(r.Heap, id) {
+			for m := range r.Heap.Field(id, key) {
+				if graph.Has(m) {
+					return true
+				}
+			}
+		}
+	}
+	// Stored through a reference with an empty points-to set (e.g. a
+	// receiver no analyzed code ever allocates): the target is
+	// unknowable, so assume the store escapes.
+	for _, f := range r.IR.Funcs {
+		escaped := false
+		f.Instrs(func(in *ir.Instr) bool {
+			var target, val *ir.Value
+			switch in.Op {
+			case ir.OpStore:
+				target, val = in.Args[0], in.Args[1]
+			case ir.OpStoreIdx:
+				target, val = in.Args[0], in.Args[2]
+			default:
+				return true
+			}
+			if len(r.Heap.PointsTo(target)) > 0 {
+				return true
+			}
+			for id := range r.Heap.PointsTo(val) {
+				if graph.Has(id) {
+					escaped = true
+					return false
+				}
+			}
+			return true
+		})
+		if escaped {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldKeys(a *heap.Analysis, id heap.NodeID) []string {
+	var keys []string
+	// The analysis exposes field sets only via Field(key); enumerate
+	// via the node's recorded edges.
+	for key := range a.FieldEdges(id) {
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// argReusable decides §3.3 for one serialized argument of a remote
+// call site: the callee-side clone graph of this argument must not
+// escape the callee.
+func (r *Result) argReusable(es *escapeState, site *ir.Instr, argNodes heap.NodeSet) bool {
+	callee, ok := r.IR.FuncOf[site.Callee]
+	if !ok {
+		return false // no body: cannot prove anything
+	}
+	clones := r.Heap.CloneSetOf(heap.ArgCtx(site.Callee), argNodes)
+	if len(clones) == 0 && len(argNodes) > 0 {
+		return false
+	}
+	graph := r.Heap.Reach(clones)
+
+	// Lifetime roots beyond globals: the receiver instance (storing an
+	// argument into a field of the remote object keeps it alive across
+	// calls) and the callee's returned graph (a returned argument
+	// flows back to the caller).
+	var extra []heap.NodeSet
+	if !site.Callee.Static && len(callee.Params) > 0 {
+		extra = append(extra, r.Heap.PointsTo(callee.Params[0]))
+	}
+	rets := heap.NodeSet{}
+	for _, rv := range ir.ReturnValues(callee) {
+		rets.AddAll(r.Heap.PointsTo(rv))
+	}
+	extra = append(extra, rets)
+
+	return !r.graphEscapes(es, graph, extra)
+}
+
+// retReusable decides §3.3 for the return value at the caller: the
+// clone graph materialized at this call site must not escape the
+// caller (it may, however, be re-sent over further RMIs — those copy).
+//
+// Beyond the heap-escape rules there is a temporal one: the next
+// invocation of the same call site overwrites the cached graph, so the
+// value must be dead by then. A same-site re-execution only happens
+// through a loop back edge, so it suffices that the result value never
+// flows into a phi (it does not survive a loop iteration or join).
+func (r *Result) retReusable(es *escapeState, site *ir.Instr, retNodes heap.NodeSet) bool {
+	if site.Dst != nil {
+		for _, u := range site.Dst.Uses {
+			if u.Op == ir.OpPhi {
+				return false
+			}
+		}
+	}
+	clones := r.Heap.CloneSetOf(heap.RetCtx(site.SiteID), retNodes)
+	if len(clones) == 0 && len(retNodes) > 0 {
+		return false
+	}
+	graph := r.Heap.Reach(clones)
+
+	// If any function can return part of this graph, it outlives the
+	// caller's frame.
+	var extra []heap.NodeSet
+	rets := heap.NodeSet{}
+	for _, f := range r.IR.Funcs {
+		for _, rv := range ir.ReturnValues(f) {
+			rets.AddAll(r.Heap.PointsTo(rv))
+		}
+	}
+	extra = append(extra, rets)
+
+	return !r.graphEscapes(es, graph, extra)
+}

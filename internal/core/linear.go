@@ -1,0 +1,118 @@
+package core
+
+import (
+	"cormi/internal/heap"
+	"cormi/internal/ir"
+	"cormi/internal/lang"
+)
+
+// The paper's conclusions name a precision limit of §3.2: "Currently
+// linked lists (containing no dynamic cycles) are mistakenly
+// identified as having cycles", because every list node comes from one
+// allocation site whose heap-graph node points to itself. This file
+// implements that future-work refinement as an opt-in analysis
+// (Options.LinearListRefinement).
+//
+// The refinement is sound under three conditions, checked statically:
+//
+//  1. The argument's class C has exactly one reference field f, of
+//     type C (a chain class).
+//  2. f is constructor-ordered: every store to f in the whole program
+//     occurs in a constructor of C, into `this`, from a constructor
+//     parameter. A freshly constructed object can then only point to
+//     objects that already existed, so following f strictly decreases
+//     construction time — no runtime cycle can exist.
+//  3. The object is the message's only reference argument. Each node
+//     has exactly one outgoing reference, so the traversal from one
+//     root is a simple path: no node can be reached twice, which means
+//     dropping the cycle table cannot lose sharing either. (With two
+//     list arguments a shared suffix would be duplicated instead of
+//     shared, so the refinement must not apply — Figure 8 still
+//     holds.)
+
+// chainClass reports whether the argument's nodes are all one class C
+// forming a linear chain (conditions 1 and 2).
+func (r *Result) chainClass(nodes heap.NodeSet, declType lang.Type) bool {
+	concrete := r.concreteType(nodes, declType)
+	ct, ok := concrete.(*lang.ClassType)
+	if !ok {
+		return false
+	}
+	c := ct.Decl
+	var refField *lang.FieldDecl
+	for _, fd := range langFields(c) {
+		if !lang.IsRef(fd.Type) {
+			continue
+		}
+		if refField != nil {
+			return false // more than one reference field
+		}
+		refField = fd
+	}
+	if refField == nil {
+		return false // no recursion at all: the plain verdict suffices
+	}
+	ft, ok := refField.Type.(*lang.ClassType)
+	if !ok || ft.Decl != c {
+		return false
+	}
+	return r.constructorOrdered(refField)
+}
+
+// constructorOrdered checks condition 2 for one field.
+func (r *Result) constructorOrdered(fd *lang.FieldDecl) bool {
+	ordered := true
+	for _, f := range r.IR.Funcs {
+		if !ordered {
+			break
+		}
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op != ir.OpStore || in.Field != fd {
+				return true
+			}
+			// Must be inside a constructor of the owning class ...
+			if !f.Method.IsCtor || f.Method.Class != fd.Owner {
+				ordered = false
+				return false
+			}
+			// ... storing into `this` ...
+			if len(f.Params) == 0 || in.Args[0] != f.Params[0] {
+				ordered = false
+				return false
+			}
+			// ... from a constructor parameter (already existing).
+			fromParam := false
+			for _, p := range f.Params[1:] {
+				if in.Args[1] == p {
+					fromParam = true
+					break
+				}
+			}
+			if !fromParam {
+				ordered = false
+				return false
+			}
+			return true
+		})
+	}
+	return ordered
+}
+
+// refineLinear clears a site's cycle verdicts where the refinement
+// applies (condition 3 is checked here: exactly one reference value in
+// the message).
+func (r *Result) refineLinear(si *SiteInfo, argNodeSets []heap.NodeSet, argTypes []lang.Type, retNodes heap.NodeSet) {
+	if si.MayCycle && len(argNodeSets) == 1 && r.chainClass(argNodeSets[0], argTypes[0]) {
+		si.MayCycle = false
+		for _, p := range si.ArgPlans {
+			p.NeedCycle = false
+		}
+	}
+	if si.RetMayCycle && si.NumRet == 1 && si.Callee != nil &&
+		r.chainClass(retNodes, si.Callee.Ret) {
+		si.RetMayCycle = false
+		for _, p := range si.RetPlans {
+			p.NeedCycle = false
+		}
+	}
+}

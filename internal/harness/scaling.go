@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"cormi/internal/apps/lu"
+	"cormi/internal/rmi"
+)
+
+// ScalingRow is one node-count measurement of the scaling extension.
+type ScalingRow struct {
+	Nodes   int
+	Seconds float64
+	Speedup float64
+}
+
+// ScalingTable extends the paper's 2-CPU evaluation: the same workload
+// at growing cluster sizes under all optimizations, reporting parallel
+// speedup in virtual time. (The paper only reports 2 CPUs; this is the
+// natural next question for a cluster system.)
+type ScalingTable struct {
+	Title string
+	Rows  []ScalingRow
+}
+
+// Format renders the scaling table.
+func (t *ScalingTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-8s %12s %10s\n", t.Title, "CPUs", "seconds", "speedup")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-8d %12.3f %9.2fx\n", r.Nodes, r.Seconds, r.Speedup)
+	}
+	return b.String()
+}
+
+// LUScaling runs LU at site+reuse+cycle over the given node counts.
+func LUScaling(n, bs int, nodeCounts []int) (*ScalingTable, error) {
+	t := &ScalingTable{Title: fmt.Sprintf("LU scaling: %d matrix (block size %d), all optimizations.", n, bs)}
+	var base float64
+	for _, nodes := range nodeCounts {
+		out, err := lu.Run(rmi.LevelSiteReuseCycle, n, bs, nodes)
+		if err != nil {
+			return nil, err
+		}
+		if out.MaxResidual > 1e-6 {
+			return nil, fmt.Errorf("harness: LU residual %g at %d nodes", out.MaxResidual, nodes)
+		}
+		if base == 0 {
+			base = out.Seconds
+		}
+		t.Rows = append(t.Rows, ScalingRow{Nodes: nodes, Seconds: out.Seconds, Speedup: base / out.Seconds})
+	}
+	return t, nil
+}

@@ -1,0 +1,23 @@
+package harness
+
+import "testing"
+
+func TestLUScaling(t *testing.T) {
+	tab, err := LUScaling(256, 32, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// More CPUs must not slow the virtual makespan down dramatically,
+	// and 2 CPUs should beat 1.
+	if !(tab.Rows[1].Seconds < tab.Rows[0].Seconds) {
+		t.Fatalf("no speedup 1->2: %+v", tab.Rows)
+	}
+	out := tab.Format()
+	if out == "" {
+		t.Fatal("empty format")
+	}
+	t.Log("\n" + out)
+}

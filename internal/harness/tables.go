@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"cormi/internal/apps/lu"
+	"cormi/internal/apps/superopt"
+	"cormi/internal/apps/webserver"
+	"cormi/internal/rmi"
+)
+
+// Tables34 reproduces "LU: runtime" and "LU: runtime statistics" from
+// one instrumented run per level (the paper gathered the statistics on
+// a separate instrumented run; our counters are always on).
+func Tables34(s Scale) (*Table, *Table, error) {
+	t3 := &Table{ID: 3, Unit: "seconds",
+		Title: fmt.Sprintf("LU: runtime %d matrix (block size %d), %d CPU's.", s.LUN, s.LUBS, s.Nodes)}
+	t4 := &Table{ID: 4, IsStats: true,
+		Title: fmt.Sprintf("LU: runtime statistics %d matrix, %d CPU's.", s.LUN, s.Nodes)}
+	for _, level := range rmi.AllLevels {
+		out, err := lu.Run(level, s.LUN, s.LUBS, s.Nodes)
+		if err != nil {
+			return nil, nil, err
+		}
+		if out.MaxResidual > 1e-6 {
+			return nil, nil, fmt.Errorf("harness: LU residual %g at %v", out.MaxResidual, level)
+		}
+		t3.Rows = append(t3.Rows, Row{Level: level, Value: out.Seconds, Stats: out.Stats})
+		t4.Rows = append(t4.Rows, Row{Level: level, Stats: out.Stats})
+	}
+	t4.Caveats = append(t4.Caveats,
+		"with '+ reuse' only first-touch deserializations allocate; every identically-shaped block fetch after that reuses")
+	return t3, t4, nil
+}
+
+// Tables56 reproduces the superoptimizer's search time and statistics.
+func Tables56(s Scale) (*Table, *Table, error) {
+	p := superopt.DefaultParams()
+	p.MaxLen = s.SuperoptMaxLen
+	p.Nodes = s.Nodes
+	if s.SuperoptThirdReg {
+		p.NRegs = 3
+	}
+	t5 := &Table{ID: 5, Unit: "seconds",
+		Title: fmt.Sprintf("Superoptimizer: seconds for performing the exhaustive search (len<=%d), %d CPU's.", p.MaxLen, s.Nodes)}
+	t6 := &Table{ID: 6, IsStats: true,
+		Title: fmt.Sprintf("Superoptimizer: runtime statistics, %d CPU's.", s.Nodes)}
+	var matches int
+	for _, level := range rmi.AllLevels {
+		out, err := superopt.Search(level, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(out.Matches) == 0 {
+			return nil, nil, fmt.Errorf("harness: superoptimizer found no equivalences at %v", level)
+		}
+		if matches == 0 {
+			matches = len(out.Matches)
+		} else if matches != len(out.Matches) {
+			return nil, nil, fmt.Errorf("harness: match count differs across levels (%d vs %d)", matches, len(out.Matches))
+		}
+		t5.Rows = append(t5.Rows, Row{Level: level, Value: out.Seconds, Stats: out.Stats,
+			Details: fmt.Sprintf("%d sequences tested, %d equivalences", out.Tested, len(out.Matches))})
+		t6.Rows = append(t6.Rows, Row{Level: level, Stats: out.Stats})
+	}
+	t6.Caveats = append(t6.Caveats,
+		"programs are queued at the tester and therefore escape: reuse stays at 0 (paper: 2)")
+	return t5, t6, nil
+}
+
+// Tables78 reproduces the webserver's per-page latency and statistics.
+func Tables78(s Scale) (*Table, *Table, error) {
+	p := webserver.DefaultParams()
+	p.Requests = s.WebRequests
+	p.Pages = s.WebPages
+	p.Nodes = s.Nodes
+	t7 := &Table{ID: 7, Unit: "µs per Webpage",
+		Title: fmt.Sprintf("Webserver: µs per webpage retrieval (%d requests), %d CPU's.", p.Requests, s.Nodes)}
+	t8 := &Table{ID: 8, IsStats: true,
+		Title: fmt.Sprintf("Webserver: runtime statistics, %d CPU's.", s.Nodes)}
+	for _, level := range rmi.AllLevels {
+		out, err := webserver.Run(level, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		t7.Rows = append(t7.Rows, Row{Level: level, Value: out.MicrosPerPage, Stats: out.Stats})
+		t8.Rows = append(t8.Rows, Row{Level: level, Stats: out.Stats})
+	}
+	t8.Caveats = append(t8.Caveats,
+		"with reuse, no objects are allocated by deserialization after the first page (paper: new MBytes -> 0.0)")
+	return t7, t8, nil
+}
+
+// All regenerates every table.
+func All(s Scale) ([]*Table, error) {
+	t1, err := Table1(s)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := Table2(s)
+	if err != nil {
+		return nil, err
+	}
+	t3, t4, err := Tables34(s)
+	if err != nil {
+		return nil, err
+	}
+	t5, t6, err := Tables56(s)
+	if err != nil {
+		return nil, err
+	}
+	t7, t8, err := Tables78(s)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t1, t2, t3, t4, t5, t6, t7, t8}, nil
+}

@@ -1,0 +1,269 @@
+package heap
+
+import (
+	"cormi/internal/ir"
+	"cormi/internal/lang"
+)
+
+// maxIterations bounds the fixpoint loop; the (logical, physical)
+// tuple memoization guarantees termination long before this, so hitting
+// the bound indicates a bug rather than a big program.
+const maxIterations = 10000
+
+// Analyze runs the heap analysis to fixpoint over the whole program.
+func Analyze(prog *ir.Program) *Analysis {
+	a := &Analysis{
+		Prog:       prog,
+		pts:        make(map[*ir.Value]NodeSet),
+		globals:    make(map[*lang.FieldDecl]NodeSet),
+		allocNode:  make(map[*ir.Instr]NodeID),
+		cloneMemo:  make(map[cloneKey]NodeID),
+		clonePairs: make(map[clonePair]NodeID),
+	}
+	for {
+		a.changed = false
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					a.transfer(in)
+				}
+			}
+		}
+		a.mirrorCloneEdges()
+		a.Iterations++
+		if !a.changed {
+			return a
+		}
+		if a.Iterations >= maxIterations {
+			panic("heap: fixpoint did not terminate (tuple memoization broken)")
+		}
+	}
+}
+
+func (a *Analysis) set(v *ir.Value) NodeSet {
+	s, ok := a.pts[v]
+	if !ok {
+		s = NodeSet{}
+		a.pts[v] = s
+	}
+	return s
+}
+
+func (a *Analysis) fieldSet(n NodeID, key string) NodeSet {
+	m := a.fields[n]
+	s, ok := m[key]
+	if !ok {
+		s = NodeSet{}
+		m[key] = s
+	}
+	return s
+}
+
+func (a *Analysis) globalSet(fd *lang.FieldDecl) NodeSet {
+	s, ok := a.globals[fd]
+	if !ok {
+		s = NodeSet{}
+		a.globals[fd] = s
+	}
+	return s
+}
+
+func (a *Analysis) note(changed bool) {
+	if changed {
+		a.changed = true
+	}
+}
+
+// newNode appends a heap node.
+func (a *Analysis) newNode(physical int, t lang.Type, site *ir.Instr, cloneOf NodeID, ctx string) *Node {
+	n := &Node{
+		ID:       NodeID(len(a.Nodes)),
+		Logical:  len(a.Nodes),
+		Physical: physical,
+		Type:     t,
+		Site:     site,
+		CloneOf:  cloneOf,
+		CloneCtx: ctx,
+	}
+	a.Nodes = append(a.Nodes, n)
+	a.fields = append(a.fields, map[string]NodeSet{})
+	a.changed = true
+	return n
+}
+
+// nodeForAlloc returns (creating on first encounter) the original node
+// of an allocation instruction.
+func (a *Analysis) nodeForAlloc(in *ir.Instr) NodeID {
+	if id, ok := a.allocNode[in]; ok {
+		return id
+	}
+	n := a.newNode(in.AllocID, in.Dst.Type, in, -1, "")
+	a.allocNode[in] = n.ID
+	return n.ID
+}
+
+// cloneOf returns the clone of node id under ctx, creating it when this
+// physical number first crosses the boundary (the §2 tuple rule).
+func (a *Analysis) cloneOf(ctx string, id NodeID) NodeID {
+	orig := a.Nodes[id]
+	key := cloneKey{ctx: ctx, physical: orig.Physical}
+	c, ok := a.cloneMemo[key]
+	if !ok {
+		n := a.newNode(orig.Physical, orig.Type, orig.Site, id, ctx)
+		a.cloneMemo[key] = n.ID
+		c = n.ID
+	}
+	pk := clonePair{ctx: ctx, orig: id}
+	if _, seen := a.clonePairs[pk]; !seen {
+		a.clonePairs[pk] = c
+		a.changed = true
+	}
+	return c
+}
+
+// mirrorCloneEdges keeps clone subgraphs structurally parallel to their
+// origins: whenever orig.f may point to m, clone.f may point to
+// cloneOf(ctx, m).
+func (a *Analysis) mirrorCloneEdges() {
+	// Iterate over a snapshot: cloning children appends new pairs,
+	// which the next fixpoint pass picks up.
+	pairs := make([]clonePair, 0, len(a.clonePairs))
+	for pk := range a.clonePairs {
+		pairs = append(pairs, pk)
+	}
+	for _, pk := range pairs {
+		c := a.clonePairs[pk]
+		for fkey, set := range a.fields[pk.orig] {
+			dst := a.fieldSet(c, fkey)
+			for m := range set {
+				a.note(dst.Add(a.cloneOf(pk.ctx, m)))
+			}
+		}
+	}
+}
+
+// transfer applies one instruction's constraints.
+func (a *Analysis) transfer(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpNew, ir.OpNewArray:
+		a.note(a.set(in.Dst).Add(a.nodeForAlloc(in)))
+
+	case ir.OpPhi, ir.OpCopy:
+		if in.Dst == nil || !lang.IsRef(in.Dst.Type) {
+			return
+		}
+		dst := a.set(in.Dst)
+		for _, arg := range in.Args {
+			a.note(dst.AddAll(a.pts[arg]))
+		}
+
+	case ir.OpLoad:
+		if !lang.IsRef(in.Dst.Type) {
+			return
+		}
+		dst := a.set(in.Dst)
+		key := FieldKey(in.Field)
+		for n := range a.pts[in.Args[0]] {
+			a.note(dst.AddAll(a.fields[n][key]))
+		}
+
+	case ir.OpStore:
+		if !lang.IsRef(in.Field.Type) {
+			return
+		}
+		key := FieldKey(in.Field)
+		src := a.pts[in.Args[1]]
+		for n := range a.pts[in.Args[0]] {
+			a.note(a.fieldSet(n, key).AddAll(src))
+		}
+
+	case ir.OpLoadIdx:
+		if !lang.IsRef(in.Dst.Type) {
+			return
+		}
+		dst := a.set(in.Dst)
+		for n := range a.pts[in.Args[0]] {
+			a.note(dst.AddAll(a.fields[n][ElemKey]))
+		}
+
+	case ir.OpStoreIdx:
+		if !lang.IsRef(in.Args[2].Type) {
+			return
+		}
+		src := a.pts[in.Args[2]]
+		for n := range a.pts[in.Args[0]] {
+			a.note(a.fieldSet(n, ElemKey).AddAll(src))
+		}
+
+	case ir.OpLoadStatic:
+		if !lang.IsRef(in.Field.Type) {
+			return
+		}
+		a.note(a.set(in.Dst).AddAll(a.globals[in.Field]))
+
+	case ir.OpStoreStatic:
+		if !lang.IsRef(in.Field.Type) {
+			return
+		}
+		a.note(a.globalSet(in.Field).AddAll(a.pts[in.Args[0]]))
+
+	case ir.OpCall:
+		a.transferCall(in, false)
+
+	case ir.OpRemoteCall:
+		a.transferCall(in, true)
+	}
+}
+
+// transferCall binds arguments to parameters and returns to the call
+// destination. Remote calls clone the argument and return graphs,
+// reflecting RMI's by-copy semantics; the receiver (Args[0] / `this`)
+// is a remote reference and is NOT copied.
+func (a *Analysis) transferCall(in *ir.Instr, remote bool) {
+	callee, ok := a.Prog.FuncOf[in.Callee]
+	if !ok {
+		return // bodiless method: no summary
+	}
+	argCtx := ArgCtx(in.Callee)
+	for i, arg := range in.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		param := callee.Params[i]
+		if !lang.IsRef(param.Type) || !lang.IsRef(arg.Type) {
+			continue
+		}
+		src := a.pts[arg]
+		if len(src) == 0 {
+			continue
+		}
+		dst := a.set(param)
+		receiver := i == 0 && !in.Callee.Static
+		if !remote || receiver {
+			a.note(dst.AddAll(src))
+			continue
+		}
+		for n := range src {
+			a.note(dst.Add(a.cloneOf(argCtx, n)))
+		}
+	}
+	if in.Dst == nil || !lang.IsRef(in.Dst.Type) {
+		return
+	}
+	retSet := NodeSet{}
+	for _, rv := range ir.ReturnValues(callee) {
+		retSet.AddAll(a.pts[rv])
+	}
+	if len(retSet) == 0 {
+		return
+	}
+	dst := a.set(in.Dst)
+	if !remote {
+		a.note(dst.AddAll(retSet))
+		return
+	}
+	retCtx := RetCtx(in.SiteID)
+	for n := range retSet {
+		a.note(dst.Add(a.cloneOf(retCtx, n)))
+	}
+}

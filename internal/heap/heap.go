@@ -1,0 +1,219 @@
+// Package heap implements the paper's RMI-aware heap analysis (§2):
+// an allocation-site-based, inclusion-style points-to analysis over SSA
+// form, extended to model RMI's deep-copy parameter semantics.
+//
+// Every allocation site becomes a heap node; data flow propagates node
+// sets through assignments, phis, field stores/loads and calls until a
+// fixpoint. At remote call boundaries the reachable argument subgraph
+// is cloned — each node's *logical* allocation number is fresh while
+// its *physical* allocation number is inherited from the original.
+// Cloning is memoized per (context, physical) pair, which is exactly
+// the paper's termination fix for the data-flow loop of Figure 3/4:
+// once a physical number has been propagated into a remote function, no
+// further clone is created, so the node sets stop growing.
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cormi/internal/ir"
+	"cormi/internal/lang"
+)
+
+// NodeID identifies a heap node. The NodeID doubles as the logical
+// allocation number.
+type NodeID int
+
+// ElemKey is the pseudo-field naming array element edges (the "[]"
+// edges of Figure 2).
+const ElemKey = "[]"
+
+// Node is one heap-graph node: an allocation site or a clone of one.
+type Node struct {
+	ID       NodeID
+	Logical  int
+	Physical int
+	Type     lang.Type
+	// Site is the allocation instruction this node (or its clone
+	// origin) came from.
+	Site *ir.Instr
+	// CloneOf is the node this one was cloned from (-1 for originals)
+	// and CloneCtx the remote-boundary context that caused the clone.
+	CloneOf  NodeID
+	CloneCtx string
+}
+
+// IsClone reports whether the node is an RMI-boundary clone.
+func (n *Node) IsClone() bool { return n.CloneOf >= 0 }
+
+func (n *Node) String() string {
+	c := ""
+	if n.IsClone() {
+		c = fmt.Sprintf(" clone-of=%d ctx=%s", n.CloneOf, n.CloneCtx)
+	}
+	return fmt.Sprintf("node%d(log=%d, phys=%d, %s%s)", n.ID, n.Logical, n.Physical, n.Type, c)
+}
+
+// NodeSet is a set of heap nodes.
+type NodeSet map[NodeID]struct{}
+
+// Add inserts id, reporting whether the set changed.
+func (s NodeSet) Add(id NodeID) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+// AddAll unions t into s, reporting whether s changed.
+func (s NodeSet) AddAll(t NodeSet) bool {
+	changed := false
+	for id := range t {
+		if s.Add(id) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Has reports membership.
+func (s NodeSet) Has(id NodeID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Sorted returns the ids in ascending order.
+func (s NodeSet) Sorted() []NodeID {
+	ids := make([]NodeID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (s NodeSet) String() string {
+	parts := make([]string, 0, len(s))
+	for _, id := range s.Sorted() {
+		parts = append(parts, fmt.Sprintf("%d", id))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+type cloneKey struct {
+	ctx      string
+	physical int
+}
+
+type clonePair struct {
+	ctx  string
+	orig NodeID
+}
+
+// Analysis is the computed heap graph.
+type Analysis struct {
+	Prog  *ir.Program
+	Nodes []*Node
+
+	pts       map[*ir.Value]NodeSet
+	fields    []map[string]NodeSet // by NodeID
+	globals   map[*lang.FieldDecl]NodeSet
+	allocNode map[*ir.Instr]NodeID
+
+	cloneMemo  map[cloneKey]NodeID
+	clonePairs map[clonePair]NodeID
+
+	changed bool
+	// Iterations records how many fixpoint passes were needed (a
+	// termination witness for the Figure 3/4 scenario).
+	Iterations int
+}
+
+// PointsTo returns the node set an SSA value may refer to (nil-safe).
+func (a *Analysis) PointsTo(v *ir.Value) NodeSet {
+	if v == nil {
+		return nil
+	}
+	return a.pts[v]
+}
+
+// Field returns the points-to set of node.field.
+func (a *Analysis) Field(n NodeID, key string) NodeSet {
+	return a.fields[n][key]
+}
+
+// FieldEdges returns all outgoing field edges of a node, keyed by
+// field name. The returned map is the analysis's own storage; treat it
+// as read-only.
+func (a *Analysis) FieldEdges(n NodeID) map[string]NodeSet {
+	return a.fields[n]
+}
+
+// FieldKey names a declared field edge.
+func FieldKey(fd *lang.FieldDecl) string {
+	return fd.Owner.Name + "." + fd.Name
+}
+
+// Node returns the node by id.
+func (a *Analysis) Node(id NodeID) *Node { return a.Nodes[id] }
+
+// GlobalSeeds returns the union of all static-variable points-to sets:
+// everything directly reachable from a global (the escape-analysis
+// seed set).
+func (a *Analysis) GlobalSeeds() NodeSet {
+	out := NodeSet{}
+	for _, s := range a.globals {
+		out.AddAll(s)
+	}
+	return out
+}
+
+// Global returns the points-to set of one static field.
+func (a *Analysis) Global(fd *lang.FieldDecl) NodeSet { return a.globals[fd] }
+
+// Reach returns roots plus everything transitively reachable through
+// field edges.
+func (a *Analysis) Reach(roots NodeSet) NodeSet {
+	out := NodeSet{}
+	var stack []NodeID
+	for id := range roots {
+		if out.Add(id) {
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, set := range a.fields[n] {
+			for m := range set {
+				if out.Add(m) {
+					stack = append(stack, m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CloneSetOf maps a caller-side node set to its clones under ctx,
+// returning only nodes that were actually cloned (memo hits).
+func (a *Analysis) CloneSetOf(ctx string, orig NodeSet) NodeSet {
+	out := NodeSet{}
+	for id := range orig {
+		if c, ok := a.clonePairs[clonePair{ctx: ctx, orig: id}]; ok {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// ArgCtx is the cloning context for arguments of a remote function
+// ("checked if the physical allocation number has already been
+// propagated to that remote function").
+func ArgCtx(callee *lang.MethodDecl) string { return "arg:" + callee.QualifiedName() }
+
+// RetCtx is the cloning context for return values, per call site.
+func RetCtx(siteID int) string { return fmt.Sprintf("ret:site%d", siteID) }

@@ -1,0 +1,79 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MayCycleFrom implements the conservative cycle check of §3.2: the
+// heap graphs rooted at all arguments of a call are traversed with one
+// shared seen-set, and any allocation number encountered twice flags a
+// potential cycle. Passing the same object twice (Figure 8), a
+// self-reference (Figure 9) and a linked list all trip the check;
+// trees and nested arrays do not.
+func (a *Analysis) MayCycleFrom(rootSets []NodeSet) bool {
+	seen := NodeSet{}
+	may := false
+	var visit func(NodeID)
+	visit = func(n NodeID) {
+		if may {
+			return
+		}
+		if seen.Has(n) {
+			may = true
+			return
+		}
+		seen.Add(n)
+		// Deterministic order keeps diagnostics stable.
+		keys := make([]string, 0, len(a.fields[n]))
+		for k := range a.fields[n] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, m := range a.fields[n][k].Sorted() {
+				visit(m)
+			}
+		}
+	}
+	for _, roots := range rootSets {
+		for _, n := range roots.Sorted() {
+			visit(n)
+		}
+	}
+	return may
+}
+
+// DumpGraph renders the subgraph reachable from roots in the style of
+// Figure 2: one line per node with its allocation numbers and type,
+// then its field edges.
+func (a *Analysis) DumpGraph(roots NodeSet) string {
+	reach := a.Reach(roots)
+	var b strings.Builder
+	for _, id := range reach.Sorted() {
+		n := a.Nodes[id]
+		fmt.Fprintf(&b, "Allocation %d", n.Logical)
+		if n.IsClone() {
+			fmt.Fprintf(&b, " (physical %d, clone via %s)", n.Physical, n.CloneCtx)
+		}
+		fmt.Fprintf(&b, ": %s\n", n.Type)
+		keys := make([]string, 0, len(a.fields[id]))
+		for k := range a.fields[id] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			set := a.fields[id][k]
+			if len(set) == 0 {
+				continue
+			}
+			label := k
+			if i := strings.IndexByte(k, '.'); i >= 0 {
+				label = "." + k[i+1:]
+			}
+			fmt.Fprintf(&b, "  %q -> %s\n", label, set)
+		}
+	}
+	return b.String()
+}

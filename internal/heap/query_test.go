@@ -1,0 +1,86 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneSetOfAndReach(t *testing.T) {
+	a, p := analyze(t, `
+class Inner { }
+class Outer { Inner in; }
+remote class W {
+	void take(Outer o) { }
+	static void go() {
+		Outer o = new Outer();
+		o.in = new Inner();
+		W w = new W();
+		w.take(o);
+	}
+}`)
+	site := p.RemoteSites[0]
+	argNodes := a.PointsTo(site.Args[1])
+	clones := a.CloneSetOf(ArgCtx(site.Callee), argNodes)
+	if len(clones) != 1 {
+		t.Fatalf("clones = %s", clones)
+	}
+	// Reach from the clone covers the mirrored child.
+	reach := a.Reach(clones)
+	if len(reach) != 2 {
+		t.Fatalf("clone reach = %s", reach)
+	}
+	// An unrelated context yields nothing.
+	if got := a.CloneSetOf("arg:Nothing.here", argNodes); len(got) != 0 {
+		t.Fatalf("bogus ctx clones = %s", got)
+	}
+	// Node stringers mention clone provenance.
+	for id := range clones {
+		s := a.Node(id).String()
+		if !strings.Contains(s, "clone-of") {
+			t.Fatalf("clone node string %q", s)
+		}
+		if !a.Node(id).IsClone() {
+			t.Fatal("IsClone false for clone")
+		}
+	}
+	// DumpGraph over clones renders the physical provenance.
+	dump := a.DumpGraph(clones)
+	if !strings.Contains(dump, "clone via arg:W.take") {
+		t.Fatalf("clone dump:\n%s", dump)
+	}
+}
+
+func TestGlobalOfSingleField(t *testing.T) {
+	a, p := analyze(t, `
+class Data { }
+class H {
+	static Data d;
+	static void set() { H.d = new Data(); }
+}`)
+	fd := p.Lang.Classes["H"].FieldByName("d")
+	if fd == nil {
+		t.Fatal("field missing")
+	}
+	if got := a.Global(fd); len(got) != 1 {
+		t.Fatalf("Global(d) = %s", got)
+	}
+}
+
+func TestMayCycleEmptyRoots(t *testing.T) {
+	a, _ := analyze(t, `class A { }`)
+	if a.MayCycleFrom(nil) || a.MayCycleFrom([]NodeSet{{}}) {
+		t.Fatal("empty roots flagged cyclic")
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	a, _ := analyze(t, `
+class A {
+	static void f() {
+		A x = new A();
+	}
+}`)
+	if a.Iterations < 1 {
+		t.Fatalf("iterations = %d", a.Iterations)
+	}
+}

@@ -1,0 +1,270 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"cormi/internal/core"
+	"cormi/internal/model"
+	"cormi/internal/rmi"
+)
+
+func mustMachine(t *testing.T, src string, level rmi.OptLevel, nodes int) (*Machine, *rmi.Cluster) {
+	t.Helper()
+	cluster := rmi.New(nodes)
+	t.Cleanup(cluster.Close)
+	res, err := core.CompileInto(src, cluster.Registry)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := New(res, cluster, level)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return m, cluster
+}
+
+func wantRunErr(t *testing.T, src, frag string) {
+	t.Helper()
+	m, _ := mustMachine(t, src, rmi.LevelSite, 2)
+	_, err := m.RunMain("Main")
+	if err == nil || !strings.Contains(err.Error(), frag) {
+		t.Fatalf("want error containing %q, got %v", frag, err)
+	}
+}
+
+func TestRemoteCallOnNull(t *testing.T) {
+	wantRunErr(t, `
+remote class W { void f() { } }
+class Main {
+	static void main() {
+		W w = null;
+		w.f();
+	}
+}`, "on null")
+}
+
+func TestRemoteRefFieldStoreRejected(t *testing.T) {
+	wantRunErr(t, `
+remote class W { void f() { } }
+class Holder { W w; }
+class Main {
+	static void main() {
+		Holder h = new Holder();
+		h.w = new W();
+	}
+}`, "remote reference")
+}
+
+func TestRemoteRefAsRMIArgumentRejected(t *testing.T) {
+	wantRunErr(t, `
+remote class W {
+	void take(W other) { }
+}
+class Main {
+	static void main() {
+		W a = new W();
+		W b = new W();
+		a.take(b);
+	}
+}`, "not supported")
+}
+
+func TestRemoteCtorRunsViaLocalPathError(t *testing.T) {
+	// Constructors on remote classes would need to run on the remote
+	// node; the interpreter rejects the direct call on the reference.
+	wantRunErr(t, `
+remote class W {
+	int x;
+	W(int v) { this.x = v; }
+	void f() { }
+}
+class Main {
+	static void main() {
+		W w = new W(3);
+		w.f();
+	}
+}`, "remote reference")
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	wantRunErr(t, `
+class Main {
+	static void main() {
+		int n = 0 - 4;
+		int[] a = new int[n];
+	}
+}`, "negative array size")
+}
+
+func TestBooleanAndStringOps(t *testing.T) {
+	v, _ := run(t, `
+class Main {
+	static boolean main() {
+		boolean a = true;
+		boolean b = !a;
+		boolean c = a && !b || false;
+		String s = "x";
+		String u = "x";
+		return c && s.length() == u.length() && 1 <= 2 && 2 >= 2 && 1 != 2;
+	}
+}`, "Main", rmi.LevelSite, 1)
+	if !v.AsBool() {
+		t.Fatalf("main = %v", v)
+	}
+}
+
+func TestDoubleArithmeticAndUnary(t *testing.T) {
+	v, _ := run(t, `
+class Main {
+	static double main() {
+		double a = 7.5;
+		double b = -a;
+		double c = a * 2.0 / 3.0 - 0.5 + b;
+		if (c < 0.0) { c = -c; }
+		return c;
+	}
+}`, "Main", rmi.LevelSite, 1)
+	want := 7.5*2.0/3.0 - 0.5 - 7.5
+	if want < 0 {
+		want = -want
+	}
+	if v.D != want {
+		t.Fatalf("main = %v want %v", v.D, want)
+	}
+}
+
+func TestObjectIdentityEquality(t *testing.T) {
+	v, _ := run(t, `
+class P { int x; }
+class Main {
+	static boolean main() {
+		P a = new P();
+		P b = new P();
+		P c = a;
+		return a == c && a != b && b != null;
+	}
+}`, "Main", rmi.LevelSite, 1)
+	if !v.AsBool() {
+		t.Fatalf("identity equality wrong: %v", v)
+	}
+}
+
+func TestIntArraysAndModulo(t *testing.T) {
+	v, _ := run(t, `
+class Main {
+	static int main() {
+		int[] a = new int[10];
+		for (int i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+		int s = 0;
+		for (int i = 0; i < 10; i = i + 1) {
+			if (a[i] % 2 == 0) { s = s + a[i]; }
+		}
+		return s;
+	}
+}`, "Main", rmi.LevelSite, 1)
+	if v.I != 0+4+16+36+64 {
+		t.Fatalf("main = %v", v)
+	}
+}
+
+func TestVirtualTimeAccountedForRemoteWork(t *testing.T) {
+	_, cluster := run(t, `
+remote class W {
+	double[] work(double[] a) { return a; }
+}
+class Main {
+	static void main() {
+		W w = new W();
+		W w2 = new W();
+		double[] d = new double[512];
+		double[] r = w2.work(d);
+		double use = r[0];
+	}
+}`, "Main", rmi.LevelSiteReuseCycle, 2)
+	// One remote RMI with a 4KB payload each way: the makespan must at
+	// least cover two message flights.
+	min := 2 * cluster.Cost.MessageNS(4096)
+	if cluster.MaxTime() < min {
+		t.Fatalf("makespan %d below causal minimum %d", cluster.MaxTime(), min)
+	}
+}
+
+// TestInterpStatsMatchDirectDriver cross-checks the interpreter against
+// the hand-driven micro benchmark: the Figure 14 program interpreted
+// end to end produces the same reuse counters as the Go driver.
+func TestInterpStatsMatchDirectDriver(t *testing.T) {
+	src := `
+class LinkedList {
+	LinkedList Next;
+	LinkedList(LinkedList n) { this.Next = n; }
+}
+remote class Foo {
+	void send(LinkedList l) { }
+}
+class Main {
+	static void main() {
+		LinkedList head = null;
+		for (int i = 0; i < 100; i = i + 1) {
+			head = new LinkedList(head);
+		}
+		Foo f = new Foo();
+		// One textual call site invoked three times: the reuse cache
+		// is per site, so three separate textual calls would each
+		// allocate their own cache graph.
+		for (int k = 0; k < 3; k = k + 1) {
+			f.send(head);
+		}
+	}
+}`
+	m, cluster := mustMachine(t, src, rmi.LevelSiteReuseCycle, 2)
+	if _, err := m.RunMain("Main"); err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.Counters.Snapshot()
+	total := s.LocalRPCs + s.RemoteRPCs
+	if total != 3 {
+		t.Fatalf("rpcs = %d", total)
+	}
+	// 3 sends of 100 nodes: first allocates, two reuse.
+	if s.AllocObjects != 100 || s.ReusedObjs != 200 {
+		t.Fatalf("alloc=%d reused=%d", s.AllocObjects, s.ReusedObjs)
+	}
+}
+
+func TestModelValueZeroDefaults(t *testing.T) {
+	v, _ := run(t, `
+class P { int i; double d; boolean b; String s; P next; }
+class Main {
+	static boolean main() {
+		P p = new P();
+		return p.i == 0 && p.d == 0.0 && !p.b && p.s.length() == 0 && p.next == null;
+	}
+}`, "Main", rmi.LevelSite, 1)
+	if !v.AsBool() {
+		t.Fatalf("zero defaults wrong: %v", v)
+	}
+	_ = model.Value{}
+}
+
+func TestIncrementOperatorsExecute(t *testing.T) {
+	v, _ := run(t, `
+class Main {
+	static int main() {
+		int s = 0;
+		for (int i = 0; i < 10; i++) {
+			s += i;
+		}
+		s -= 3;
+		int j = 4;
+		j--;
+		int[] a = new int[2];
+		a[0]++;
+		a[0]++;
+		return s + j + a[0];
+	}
+}`, "Main", rmi.LevelSite, 1)
+	if v.I != 45-3+3+2 {
+		t.Fatalf("main = %v", v)
+	}
+}

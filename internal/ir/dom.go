@@ -1,0 +1,96 @@
+package ir
+
+// Dominators computes the immediate-dominator tree of f with the
+// Cooper–Harvey–Kennedy iterative algorithm. The result maps each
+// reachable block to its immediate dominator (the entry maps to
+// itself). Unreachable blocks are absent.
+func Dominators(f *Func) map[*Block]*Block {
+	order := postorder(f)
+	// Reverse postorder numbering.
+	num := make(map[*Block]int, len(order))
+	for i, b := range order {
+		num[b] = len(order) - 1 - i
+	}
+	rpo := make([]*Block, len(order))
+	for _, b := range order {
+		rpo[num[b]] = b
+	}
+
+	idom := make(map[*Block]*Block, len(order))
+	entry := f.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for num[a] > num[b] {
+				a = idom[a]
+			}
+			for num[b] > num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// postorder returns the reachable blocks of f in DFS postorder.
+func postorder(f *Func) []*Block {
+	var order []*Block
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		order = append(order, b)
+	}
+	walk(f.Entry())
+	return order
+}
+
+// Dominates reports whether a dominates b under the given idom tree
+// (reflexively).
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}

@@ -1,0 +1,430 @@
+package ir
+
+import (
+	"fmt"
+
+	"cormi/internal/lang"
+)
+
+// Lower converts a checked program to SSA IR.
+func Lower(p *lang.Program) (*Program, error) {
+	prog := &Program{
+		Lang:        p,
+		FuncOf:      make(map[*lang.MethodDecl]*Func),
+		RemoteSites: make([]*Instr, len(p.RemoteCalls)),
+		AllocSites:  make([]*Instr, p.NumAllocSites),
+	}
+	for _, cd := range p.File.Classes {
+		for _, m := range cd.Methods {
+			if m.Body == nil {
+				continue
+			}
+			fn, err := lowerFunc(prog, m)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			prog.FuncOf[m] = fn
+		}
+	}
+	return prog, nil
+}
+
+type builder struct {
+	prog *Program
+	fn   *Func
+	cur  *Block // nil while lowering unreachable code
+
+	scopes   []map[string]int // name -> variable key
+	varTypes []lang.Type      // indexed by variable key
+}
+
+func lowerFunc(prog *Program, m *lang.MethodDecl) (fn *Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(*lowerPanic); ok {
+				err = e.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	b := &builder{prog: prog, fn: &Func{Name: m.QualifiedName(), Method: m}}
+	entry := b.newBlock()
+	entry.sealed = true
+	b.cur = entry
+	b.pushScope()
+
+	if !m.Static {
+		this := b.newValue(&lang.ClassType{Decl: m.Class}, "this")
+		b.fn.Params = append(b.fn.Params, this)
+	}
+	for _, p := range m.Params {
+		v := b.newValue(p.Type, p.Name)
+		b.fn.Params = append(b.fn.Params, v)
+		key := b.declare(p.Name, p.Type)
+		b.writeVar(key, b.cur, v)
+	}
+	b.block(m.Body)
+	// Implicit return at the end of void bodies.
+	if b.cur != nil {
+		b.emit(&Instr{Op: OpRet})
+		b.cur = nil
+	}
+	b.popScope()
+	return b.fn, nil
+}
+
+type lowerPanic struct{ err error }
+
+func (b *builder) fail(pos lang.Pos, format string, args ...interface{}) {
+	panic(&lowerPanic{err: fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))})
+}
+
+// --- construction primitives ----------------------------------------
+
+func (b *builder) newValue(t lang.Type, name string) *Value {
+	v := &Value{ID: b.fn.nextValue, Type: t, Name: name}
+	b.fn.nextValue++
+	return v
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{
+		ID:             len(b.fn.Blocks),
+		Func:           b.fn,
+		defs:           make(map[int]*Value),
+		incompletePhis: make(map[int]*Instr),
+	}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+func (b *builder) emit(in *Instr) *Instr {
+	if b.cur == nil {
+		return in // unreachable code: drop
+	}
+	in.Block = b.cur
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	for _, a := range in.Args {
+		a.Uses = append(a.Uses, in)
+	}
+	if in.Dst != nil {
+		in.Dst.Def = in
+	}
+	return in
+}
+
+func connect(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jumpTo ends the current block with a jump to target (if live).
+func (b *builder) jumpTo(target *Block) {
+	if b.cur == nil {
+		return
+	}
+	from := b.cur
+	b.emit(&Instr{Op: OpJump, Targets: []*Block{target}})
+	connect(from, target)
+	b.cur = nil
+}
+
+func (b *builder) branchTo(cond *Value, t, f *Block) {
+	from := b.cur
+	b.emit(&Instr{Op: OpBranch, Args: []*Value{cond}, Targets: []*Block{t, f}})
+	connect(from, t)
+	connect(from, f)
+	b.cur = nil
+}
+
+// --- scoped variables and Braun-style SSA ----------------------------
+
+func (b *builder) pushScope() { b.scopes = append(b.scopes, map[string]int{}) }
+func (b *builder) popScope()  { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) declare(name string, t lang.Type) int {
+	key := len(b.varTypes)
+	b.varTypes = append(b.varTypes, t)
+	b.scopes[len(b.scopes)-1][name] = key
+	return key
+}
+
+func (b *builder) varKey(name string) (int, bool) {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if k, ok := b.scopes[i][name]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func (b *builder) writeVar(key int, blk *Block, v *Value) {
+	blk.defs[key] = v
+}
+
+func (b *builder) readVar(key int, blk *Block) *Value {
+	if v, ok := blk.defs[key]; ok {
+		return v
+	}
+	var v *Value
+	switch {
+	case !blk.sealed:
+		// Incomplete CFG (loop header): placeholder phi, operands
+		// filled in when the block is sealed.
+		phi := &Instr{Op: OpPhi, Block: blk, Dst: b.newValue(b.varTypes[key], "")}
+		phi.Dst.Def = phi
+		blk.Instrs = append([]*Instr{phi}, blk.Instrs...)
+		blk.incompletePhis[key] = phi
+		v = phi.Dst
+	case len(blk.Preds) == 1:
+		v = b.readVar(key, blk.Preds[0])
+	case len(blk.Preds) == 0:
+		// Unreachable join or use before any definition: a typed zero.
+		v = b.zeroValueIn(blk, b.varTypes[key])
+	default:
+		phi := &Instr{Op: OpPhi, Block: blk, Dst: b.newValue(b.varTypes[key], "")}
+		phi.Dst.Def = phi
+		blk.Instrs = append([]*Instr{phi}, blk.Instrs...)
+		b.writeVar(key, blk, phi.Dst)
+		v = b.addPhiOperands(key, phi)
+	}
+	b.writeVar(key, blk, v)
+	return v
+}
+
+func (b *builder) addPhiOperands(key int, phi *Instr) *Value {
+	for _, pred := range phi.Block.Preds {
+		v := b.readVar(key, pred)
+		phi.Args = append(phi.Args, v)
+		phi.PhiPreds = append(phi.PhiPreds, pred)
+		v.Uses = append(v.Uses, phi)
+	}
+	return b.tryRemoveTrivialPhi(phi)
+}
+
+// tryRemoveTrivialPhi removes phis of the form v = phi(v, x, x, ...)
+// per Braun et al., rerouting uses to the single real operand and
+// recursing into phi users that may have become trivial.
+func (b *builder) tryRemoveTrivialPhi(phi *Instr) *Value {
+	var same *Value
+	for _, op := range phi.Args {
+		if op == same || op == phi.Dst {
+			continue
+		}
+		if same != nil {
+			return phi.Dst // merges at least two values: keep
+		}
+		same = op
+	}
+	if same == nil {
+		// Unreachable or self-only phi: a typed zero.
+		same = b.zeroValueIn(phi.Block, phi.Dst.Type)
+	}
+
+	// Unlink phi from its operands' use lists.
+	for _, op := range phi.Args {
+		op.Uses = removeUse(op.Uses, phi)
+	}
+	// Remove the phi instruction from its block.
+	blk := phi.Block
+	for i, in := range blk.Instrs {
+		if in == phi {
+			blk.Instrs = append(blk.Instrs[:i], blk.Instrs[i+1:]...)
+			break
+		}
+	}
+	// Reroute all uses of the phi to `same`.
+	users := phi.Dst.Uses
+	phi.Dst.Uses = nil
+	for _, u := range users {
+		if u == phi {
+			continue
+		}
+		for i, a := range u.Args {
+			if a == phi.Dst {
+				u.Args[i] = same
+				same.Uses = append(same.Uses, u)
+			}
+		}
+	}
+	// Variable maps may still name the removed phi.
+	for _, bb := range b.fn.Blocks {
+		for k, v := range bb.defs {
+			if v == phi.Dst {
+				bb.defs[k] = same
+			}
+		}
+		for k, p := range bb.incompletePhis {
+			if p == phi {
+				delete(bb.incompletePhis, k)
+			}
+		}
+	}
+	// Phi users may have become trivial in turn.
+	for _, u := range users {
+		if u != phi && u.Op == OpPhi {
+			b.tryRemoveTrivialPhi(u)
+		}
+	}
+	return same
+}
+
+func removeUse(uses []*Instr, in *Instr) []*Instr {
+	out := uses[:0]
+	for _, u := range uses {
+		if u != in {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (b *builder) seal(blk *Block) {
+	if blk.sealed {
+		return
+	}
+	blk.sealed = true
+	for key, phi := range blk.incompletePhis {
+		b.addPhiOperands(key, phi)
+	}
+	blk.incompletePhis = nil
+}
+
+// zeroValueIn emits a typed zero constant into blk.
+func (b *builder) zeroValueIn(blk *Block, t lang.Type) *Value {
+	in := &Instr{Op: OpConst, Block: blk, Dst: b.newValue(t, "")}
+	in.Dst.Def = in
+	if lang.IsRef(t) {
+		in.ConstIsNull = true
+	} else if p, ok := t.(*lang.PrimType); ok {
+		in.ConstKind = p.Kind
+	}
+	// Insert after any leading phis.
+	i := 0
+	for i < len(blk.Instrs) && blk.Instrs[i].Op == OpPhi {
+		i++
+	}
+	blk.Instrs = append(blk.Instrs[:i], append([]*Instr{in}, blk.Instrs[i:]...)...)
+	return in.Dst
+}
+
+// --- statements -------------------------------------------------------
+
+func (b *builder) block(blk *lang.Block) {
+	b.pushScope()
+	for _, s := range blk.Stmts {
+		if b.cur == nil {
+			break // code after return
+		}
+		b.stmt(s)
+	}
+	b.popScope()
+}
+
+func (b *builder) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.Block:
+		b.block(st)
+	case *lang.VarDecl:
+		key := b.declare(st.Name, st.Type)
+		var v *Value
+		if st.Init != nil {
+			v = b.expr(st.Init)
+		} else {
+			v = b.zeroConst(st.Type)
+		}
+		b.writeVar(key, b.cur, v)
+	case *lang.If:
+		cond := b.expr(st.Cond)
+		thenB := b.newBlock()
+		joinB := b.newBlock()
+		elseB := joinB
+		if st.Else != nil {
+			elseB = b.newBlock()
+		}
+		b.branchTo(cond, thenB, elseB)
+		b.seal(thenB)
+		if elseB != joinB {
+			b.seal(elseB)
+		}
+		b.cur = thenB
+		b.stmt(st.Then)
+		b.jumpTo(joinB)
+		if st.Else != nil {
+			b.cur = elseB
+			b.stmt(st.Else)
+			b.jumpTo(joinB)
+		}
+		b.seal(joinB)
+		b.cur = joinB
+	case *lang.While:
+		header := b.newBlock()
+		b.jumpTo(header)
+		b.cur = header
+		cond := b.expr(st.Cond)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.branchTo(cond, body, exit)
+		b.seal(body)
+		b.cur = body
+		b.stmt(st.Body)
+		b.jumpTo(header)
+		b.seal(header)
+		b.seal(exit)
+		b.cur = exit
+	case *lang.For:
+		b.pushScope()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		header := b.newBlock()
+		b.jumpTo(header)
+		b.cur = header
+		var cond *Value
+		if st.Cond != nil {
+			cond = b.expr(st.Cond)
+		} else {
+			in := b.emit(&Instr{Op: OpConst, ConstKind: lang.PBoolean, ConstBool: true,
+				Dst: b.newValue(lang.BooleanType, "")})
+			cond = in.Dst
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.branchTo(cond, body, exit)
+		b.seal(body)
+		b.cur = body
+		b.stmt(st.Body)
+		if b.cur != nil && st.Post != nil {
+			b.expr(st.Post)
+		}
+		b.jumpTo(header)
+		b.seal(header)
+		b.seal(exit)
+		b.cur = exit
+		b.popScope()
+	case *lang.Return:
+		in := &Instr{Op: OpRet}
+		if st.Value != nil {
+			in.Args = []*Value{b.expr(st.Value)}
+		}
+		b.emit(in)
+		b.cur = nil
+	case *lang.ExprStmt:
+		b.exprForEffect(st.X)
+	default:
+		b.fail(lang.Pos{}, "unhandled statement %T", s)
+	}
+}
+
+func (b *builder) zeroConst(t lang.Type) *Value {
+	in := &Instr{Op: OpConst, Dst: b.newValue(t, "")}
+	if lang.IsRef(t) {
+		in.ConstIsNull = true
+	} else if p, ok := t.(*lang.PrimType); ok {
+		in.ConstKind = p.Kind
+	}
+	b.emit(in)
+	return in.Dst
+}

@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// Validate checks the SSA invariants of every function in the program:
+// single assignment, definitions dominating uses (phi uses checked at
+// the matching predecessor), terminated blocks, consistent CFG edges
+// and well-formed phis.
+func Validate(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := ValidateFunc(f); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// ValidateFunc checks one function.
+func ValidateFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	idom := Dominators(f)
+	reachable := make(map[*Block]bool, len(idom))
+	for b := range idom {
+		reachable[b] = true
+	}
+
+	defBlock := make(map[*Value]*Block)
+	for _, prm := range f.Params {
+		defBlock[prm] = f.Entry()
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Block != b {
+				return fmt.Errorf("block %d: instruction has wrong block pointer", b.ID)
+			}
+			if in.Dst != nil {
+				if _, dup := defBlock[in.Dst]; dup {
+					return fmt.Errorf("block %d: value %s assigned twice", b.ID, in.Dst)
+				}
+				defBlock[in.Dst] = b
+				if in.Dst.Def != in {
+					return fmt.Errorf("block %d: %s has stale Def", b.ID, in.Dst)
+				}
+			}
+			if in.Op == OpPhi {
+				if len(in.Args) != len(in.PhiPreds) {
+					return fmt.Errorf("block %d: phi arity mismatch", b.ID)
+				}
+				if len(in.Args) != len(b.Preds) {
+					return fmt.Errorf("block %d: phi has %d operands for %d preds", b.ID, len(in.Args), len(b.Preds))
+				}
+				// Phis must lead the block.
+				if i > 0 && b.Instrs[i-1].Op != OpPhi {
+					return fmt.Errorf("block %d: phi after non-phi", b.ID)
+				}
+			}
+			if t := in.Op; (t == OpJump || t == OpBranch || t == OpRet) && i != len(b.Instrs)-1 {
+				return fmt.Errorf("block %d: terminator mid-block", b.ID)
+			}
+		}
+		if reachable[b] && b.Terminator() == nil {
+			return fmt.Errorf("block %d: missing terminator", b.ID)
+		}
+		// CFG consistency.
+		if t := b.Terminator(); t != nil {
+			want := map[Op]int{OpJump: 1, OpBranch: 2, OpRet: 0}[t.Op]
+			if len(t.Targets) != want {
+				return fmt.Errorf("block %d: %v with %d targets", b.ID, t.Op, len(t.Targets))
+			}
+			if len(b.Succs) != want {
+				return fmt.Errorf("block %d: %d successors for %v", b.ID, len(b.Succs), t.Op)
+			}
+			for i, s := range b.Succs {
+				if t.Targets[i] != s {
+					return fmt.Errorf("block %d: successor %d mismatch", b.ID, i)
+				}
+				found := false
+				for _, pp := range s.Preds {
+					if pp == b {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("block %d: successor %d missing back edge", b.ID, i)
+				}
+			}
+		}
+	}
+
+	// Dominance of uses.
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for ai, a := range in.Args {
+				db, ok := defBlock[a]
+				if !ok {
+					return fmt.Errorf("block %d: use of undefined value %s", b.ID, a)
+				}
+				if !reachable[db] {
+					continue
+				}
+				if in.Op == OpPhi {
+					pred := in.PhiPreds[ai]
+					if reachable[pred] && !Dominates(idom, db, pred) {
+						return fmt.Errorf("block %d: phi operand %s not dominated via pred %d", b.ID, a, pred.ID)
+					}
+					continue
+				}
+				if db == b {
+					continue // same-block ordering is by construction
+				}
+				if !Dominates(idom, db, b) {
+					return fmt.Errorf("block %d: use of %s not dominated by def in block %d", b.ID, a, db.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IgnoredReturn reports whether a remote call's result is unused
+// (dead), enabling the §3.1 ack-only optimization at that site.
+func IgnoredReturn(site *Instr) bool {
+	if site.Dst == nil {
+		return true
+	}
+	return len(site.Dst.Uses) == 0
+}
+
+// ReturnValues collects the values returned by f.
+func ReturnValues(f *Func) []*Value {
+	var vals []*Value
+	for _, b := range f.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == OpRet && len(t.Args) == 1 {
+			vals = append(vals, t.Args[0])
+		}
+	}
+	return vals
+}

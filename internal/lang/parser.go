@@ -1,0 +1,715 @@
+package lang
+
+import "strconv"
+
+// Parse lexes and parses a MiniJP compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.atEOF() {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token     { return p.toks[p.i] }
+func (p *parser) at(k int) Token { return p.toks[min(p.i+k, len(p.toks)-1)] }
+func (p *parser) atEOF() bool    { return p.cur().Kind == TokEOF }
+func (p *parser) advance() Token {
+	t := p.cur()
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) is(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.is(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.is(kind, text) {
+		return p.advance(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected %q, found %s", text, p.cur())
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	if p.cur().Kind == TokIdent {
+		return p.advance(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected identifier, found %s", p.cur())
+}
+
+// typeNameStarts reports whether the current token can begin a type.
+func (p *parser) typeNameStarts() bool {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		return true
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "int", "double", "boolean", "String", "void":
+			return true
+		}
+	}
+	return false
+}
+
+// typeExpr parses `name ([])*`.
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	if !p.typeNameStarts() {
+		return TypeExpr{}, errf(t.Pos, "expected type, found %s", t)
+	}
+	p.advance()
+	te := TypeExpr{Pos: t.Pos, Name: t.Text}
+	for p.is(TokPunct, "[") && p.at(1).Kind == TokPunct && p.at(1).Text == "]" {
+		p.advance()
+		p.advance()
+		te.Dims++
+	}
+	return te, nil
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	start := p.cur().Pos
+	remote := p.accept(TokKeyword, "remote")
+	if _, err := p.expect(TokKeyword, "class"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Pos: start, Name: name.Text, Remote: remote}
+	if p.accept(TokKeyword, "extends") {
+		sup, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		c.Extends = sup.Text
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(TokPunct, "}") {
+		if p.atEOF() {
+			return nil, errf(c.Pos, "unterminated class %s", c.Name)
+		}
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// member parses a field, method or constructor into c.
+func (p *parser) member(c *ClassDecl) error {
+	pos := p.cur().Pos
+	static := p.accept(TokKeyword, "static")
+
+	// Constructor: ClassName (
+	if p.cur().Kind == TokIdent && p.cur().Text == c.Name &&
+		p.at(1).Kind == TokPunct && p.at(1).Text == "(" {
+		name := p.advance()
+		m := &MethodDecl{Pos: pos, Name: name.Text, Static: static, IsCtor: true,
+			RetX: TypeExpr{Pos: pos, Name: "void"}, Class: c}
+		if static {
+			return errf(pos, "constructor cannot be static")
+		}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+
+	te, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.is(TokPunct, "(") {
+		m := &MethodDecl{Pos: pos, Name: name.Text, Static: static, RetX: te, Class: c}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return err
+	}
+	c.Fields = append(c.Fields, &FieldDecl{Pos: pos, Name: name.Text, Static: static, TypeX: te, Owner: c})
+	return nil
+}
+
+func (p *parser) methodRest(m *MethodDecl) error {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return err
+	}
+	for !p.accept(TokPunct, ")") {
+		if len(m.Params) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return err
+			}
+		}
+		te, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, &Param{Pos: name.Pos, Name: name.Text, TypeX: te})
+	}
+	// Abstract/empty bodies are written `{ }`; a bare `;` declares a
+	// body-less method (remote interface style).
+	if p.accept(TokPunct, ";") {
+		return nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+func (p *parser) block() (*Block, error) {
+	start, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start.Pos}
+	for !p.accept(TokPunct, "}") {
+		if p.atEOF() {
+			return nil, errf(start.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// startsVarDecl disambiguates `T x ...` declarations from expressions
+// at statement start.
+func (p *parser) startsVarDecl() bool {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "int", "double", "boolean", "String":
+			return true
+		}
+		return false
+	}
+	if t.Kind != TokIdent {
+		return false
+	}
+	// IDENT IDENT -> declaration with class type.
+	if p.at(1).Kind == TokIdent {
+		return true
+	}
+	// IDENT [ ] -> array-typed declaration. IDENT [ expr -> index expr.
+	j := 1
+	for p.at(j).Kind == TokPunct && p.at(j).Text == "[" &&
+		p.at(j+1).Kind == TokPunct && p.at(j+1).Text == "]" {
+		j += 2
+	}
+	return j > 1 && p.at(j).Kind == TokIdent
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.is(TokPunct, "{"):
+		return p.block()
+	case p.is(TokKeyword, "if"):
+		p.advance()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &If{Pos: pos, Cond: cond, Then: then}
+		if p.accept(TokKeyword, "else") {
+			s.Else, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case p.is(TokKeyword, "while"):
+		p.advance()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: pos, Cond: cond, Body: body}, nil
+	case p.is(TokKeyword, "for"):
+		return p.forStmt()
+	case p.is(TokKeyword, "return"):
+		p.advance()
+		s := &Return{Pos: pos}
+		if !p.is(TokPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.startsVarDecl():
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	pos := p.cur().Pos
+	te, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: pos, Name: name.Text, TypeX: te}
+	if p.accept(TokOp, "=") {
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.advance().Pos // "for"
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &For{Pos: pos}
+	if !p.is(TokPunct, ";") {
+		if p.startsVarDecl() {
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Pos: pos, X: x}
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(TokPunct, ";") {
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = c
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(TokPunct, ")") {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = x
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// --- expressions, precedence climbing --------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.is(TokOp, "="):
+		pos := p.advance().Pos
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &Assign{LHS: lhs, RHS: rhs}
+		a.Pos = pos
+		return a, nil
+	case p.is(TokOp, "++"), p.is(TokOp, "--"):
+		// Postfix increment/decrement, desugared to `x = x ± 1` (the
+		// value of the expression is the updated one; MiniJP only
+		// allows these as statements, which the checker enforces by
+		// accepting Assign in statement position).
+		op := p.advance()
+		binOp := "+"
+		if op.Text == "--" {
+			binOp = "-"
+		}
+		one := &IntLit{Value: 1}
+		one.Pos = op.Pos
+		b := &Binary{Op: binOp, L: lhs, R: one}
+		b.Pos = op.Pos
+		a := &Assign{LHS: lhs, RHS: b}
+		a.Pos = op.Pos
+		return a, nil
+	case p.is(TokOp, "+="), p.is(TokOp, "-="):
+		op := p.advance()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: op.Text[:1], L: lhs, R: rhs}
+		b.Pos = op.Pos
+		a := &Assign{LHS: lhs, RHS: b}
+		a.Pos = op.Pos
+		return a, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) binaryLevel(ops []string, next func() (Expr, error)) (Expr, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.is(TokOp, op) {
+				pos := p.advance().Pos
+				r, err := next()
+				if err != nil {
+					return nil, err
+				}
+				b := &Binary{Op: op, L: l, R: r}
+				b.Pos = pos
+				l = b
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]string{"==", "!="}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]string{"<=", ">=", "<", ">"}, p.addExpr)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unaryExpr)
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.is(TokOp, "-") || p.is(TokOp, "!") {
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: op.Text, X: x}
+		u.Pos = op.Pos
+		return u, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is(TokPunct, "."):
+			p.advance()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.is(TokPunct, "(") {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				c := &Call{Recv: x, Name: name.Text, Args: args}
+				c.Pos = name.Pos
+				x = c
+			} else {
+				f := &FieldAccess{X: x, Name: name.Text}
+				f.Pos = name.Pos
+				x = f
+			}
+		case p.is(TokPunct, "["):
+			pos := p.advance().Pos
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			ix := &Index{X: x, I: i}
+			ix.Pos = pos
+			x = ix
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.accept(TokPunct, ")") {
+		if len(args) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokIntLit:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad int literal %s", t.Text)
+		}
+		e := &IntLit{Value: v}
+		e.Pos = t.Pos
+		return e, nil
+	case t.Kind == TokDoubleLit:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad double literal %s", t.Text)
+		}
+		e := &DoubleLit{Value: v}
+		e.Pos = t.Pos
+		return e, nil
+	case t.Kind == TokStringLit:
+		p.advance()
+		e := &StringLit{Value: t.Text}
+		e.Pos = t.Pos
+		return e, nil
+	case p.is(TokKeyword, "true"), p.is(TokKeyword, "false"):
+		p.advance()
+		e := &BoolLit{Value: t.Text == "true"}
+		e.Pos = t.Pos
+		return e, nil
+	case p.is(TokKeyword, "null"):
+		p.advance()
+		e := &NullLit{}
+		e.Pos = t.Pos
+		return e, nil
+	case p.is(TokKeyword, "this"):
+		p.advance()
+		e := &This{}
+		e.Pos = t.Pos
+		return e, nil
+	case p.is(TokKeyword, "new"):
+		return p.newExpr()
+	case p.is(TokPunct, "("):
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.Kind == TokIdent:
+		p.advance()
+		if p.is(TokPunct, "(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			c := &Call{Name: t.Text, Args: args}
+			c.Pos = t.Pos
+			return c, nil
+		}
+		e := &Ident{Name: t.Text}
+		e.Pos = t.Pos
+		return e, nil
+	default:
+		return nil, errf(t.Pos, "unexpected token %s", t)
+	}
+}
+
+func (p *parser) newExpr() (Expr, error) {
+	pos := p.advance().Pos // "new"
+	t := p.cur()
+	if !p.typeNameStarts() || t.Text == "void" {
+		return nil, errf(t.Pos, "expected type after new")
+	}
+	p.advance()
+
+	// new C(args)
+	if p.is(TokPunct, "(") {
+		if t.Kind != TokIdent {
+			return nil, errf(t.Pos, "cannot construct primitive %s", t.Text)
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		e := &New{ClassName: t.Text, Args: args}
+		e.Pos = pos
+		return e, nil
+	}
+
+	// new T[len]...[]...
+	e := &NewArray{ElemX: TypeExpr{Pos: t.Pos, Name: t.Text}}
+	e.Pos = pos
+	if !p.is(TokPunct, "[") {
+		return nil, errf(p.cur().Pos, "expected ( or [ after new %s", t.Text)
+	}
+	for p.is(TokPunct, "[") {
+		p.advance()
+		if p.accept(TokPunct, "]") {
+			// Unsized trailing dimension.
+			e.Dims++
+			continue
+		}
+		if len(e.Lens) < e.Dims {
+			return nil, errf(p.cur().Pos, "sized dimension after unsized one")
+		}
+		l, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		e.Lens = append(e.Lens, l)
+		e.Dims++
+	}
+	return e, nil
+}

@@ -1,0 +1,75 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: random token soup assembled from the
+// language's own vocabulary must produce errors, never panics.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"class", "remote", "static", "extends", "new", "if", "else",
+		"while", "for", "return", "true", "false", "null", "this",
+		"int", "double", "boolean", "String", "void",
+		"{", "}", "(", ")", "[", "]", ";", ",", ".",
+		"=", "==", "!=", "<", "<=", "+", "-", "*", "/", "%", "&&", "||", "!",
+		"x", "y", "Foo", "main", "0", "1", "2.5", `"s"`,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			if f, err := Parse(src); err == nil {
+				_, _ = Check(f) // must not panic either
+			}
+		}()
+	}
+}
+
+// TestCheckerNeverPanicsOnMutations: take a valid program and corrupt
+// single tokens; Parse/Check must fail cleanly.
+func TestCheckerNeverPanicsOnMutations(t *testing.T) {
+	base := `
+class Node { int v; Node next; Node(Node n) { this.next = n; } }
+remote class F {
+	Node id(Node x) { return x; }
+	static void main() {
+		F f = new F();
+		Node h = null;
+		for (int i = 0; i < 3; i = i + 1) { h = new Node(h); }
+		Node g = f.id(h);
+		Node use = g.next;
+	}
+}`
+	words := strings.Fields(base)
+	rng := rand.New(rand.NewSource(11))
+	repl := []string{"", "}", "(", "int", "null", "zzz", "=", "class"}
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]string(nil), words...)
+		mut[rng.Intn(len(mut))] = repl[rng.Intn(len(repl))]
+		src := strings.Join(mut, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated source: %v\n%s", r, src)
+				}
+			}()
+			if f, err := Parse(src); err == nil {
+				_, _ = Check(f)
+			}
+		}()
+	}
+}

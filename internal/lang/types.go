@@ -1,0 +1,117 @@
+package lang
+
+// Type is a MiniJP static type.
+type Type interface {
+	String() string
+	isType()
+}
+
+// PrimKind enumerates the primitive types.
+type PrimKind int
+
+const (
+	PInt PrimKind = iota
+	PDouble
+	PBoolean
+	PString
+	PVoid
+	PNull // the type of the null literal
+)
+
+// PrimType is a primitive type.
+type PrimType struct{ Kind PrimKind }
+
+func (p *PrimType) isType() {}
+func (p *PrimType) String() string {
+	switch p.Kind {
+	case PInt:
+		return "int"
+	case PDouble:
+		return "double"
+	case PBoolean:
+		return "boolean"
+	case PString:
+		return "String"
+	case PVoid:
+		return "void"
+	default:
+		return "null"
+	}
+}
+
+// Singleton primitive types.
+var (
+	IntType     = &PrimType{PInt}
+	DoubleType  = &PrimType{PDouble}
+	BooleanType = &PrimType{PBoolean}
+	StringType  = &PrimType{PString}
+	VoidType    = &PrimType{PVoid}
+	NullType    = &PrimType{PNull}
+)
+
+// ClassType is a reference to a declared class.
+type ClassType struct{ Decl *ClassDecl }
+
+func (c *ClassType) isType()        {}
+func (c *ClassType) String() string { return c.Decl.Name }
+
+// ArrayType is T[].
+type ArrayType struct{ Elem Type }
+
+func (a *ArrayType) isType()        {}
+func (a *ArrayType) String() string { return a.Elem.String() + "[]" }
+
+// TypeEq reports structural type equality.
+func TypeEq(a, b Type) bool {
+	switch at := a.(type) {
+	case *PrimType:
+		bt, ok := b.(*PrimType)
+		return ok && at.Kind == bt.Kind
+	case *ClassType:
+		bt, ok := b.(*ClassType)
+		return ok && at.Decl == bt.Decl
+	case *ArrayType:
+		bt, ok := b.(*ArrayType)
+		return ok && TypeEq(at.Elem, bt.Elem)
+	}
+	return false
+}
+
+// IsRef reports whether t is a reference type (class or array).
+func IsRef(t Type) bool {
+	switch t.(type) {
+	case *ClassType, *ArrayType:
+		return true
+	}
+	return false
+}
+
+// Assignable reports whether a value of type src may be assigned to a
+// location of type dst (equality, null to references, or subclass
+// widening).
+func Assignable(dst, src Type) bool {
+	if TypeEq(dst, src) {
+		return true
+	}
+	if p, ok := src.(*PrimType); ok && p.Kind == PNull {
+		return IsRef(dst)
+	}
+	sc, okS := src.(*ClassType)
+	dc, okD := dst.(*ClassType)
+	if okS && okD {
+		return sc.Decl.IsSubclassOf(dc.Decl)
+	}
+	// int widens to double, Java-style.
+	sp, okSP := src.(*PrimType)
+	dp, okDP := dst.(*PrimType)
+	if okSP && okDP && sp.Kind == PInt && dp.Kind == PDouble {
+		return true
+	}
+	return false
+}
+
+// IsNumeric reports whether t is int or double.
+func IsNumeric(t Type) bool {
+	p, ok := t.(*PrimType)
+	return ok && (p.Kind == PInt || p.Kind == PDouble)
+}

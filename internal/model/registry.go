@@ -1,0 +1,133 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry assigns wire IDs to classes and resolves them during
+// deserialization. Both sides of an RMI connection must register the
+// same classes in the same order (the paper's compiler guarantees this
+// by construction; our runtime checks names on lookup).
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[int32]*Class
+	byName map[string]*Class
+	next   int32
+}
+
+// NewRegistry returns an empty registry with the built-in array classes
+// for double[], int[] and byte[] pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		byID:   make(map[int32]*Class),
+		byName: make(map[string]*Class),
+		next:   1,
+	}
+	r.mustDefine(&Class{Name: "double[]", Kind: KDoubleArray})
+	r.mustDefine(&Class{Name: "int[]", Kind: KIntArray})
+	r.mustDefine(&Class{Name: "byte[]", Kind: KByteArray})
+	return r
+}
+
+func (r *Registry) mustDefine(c *Class) *Class {
+	c2, err := r.add(c)
+	if err != nil {
+		panic(err)
+	}
+	return c2
+}
+
+func (r *Registry) add(c *Class) (*Class, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[c.Name]; ok {
+		return nil, fmt.Errorf("model: class %q already registered", c.Name)
+	}
+	c.ID = r.next
+	r.next++
+	r.byID[c.ID] = c
+	r.byName[c.Name] = c
+	return c, nil
+}
+
+// Define registers a new object class.
+func (r *Registry) Define(name string, super *Class, fields ...Field) (*Class, error) {
+	return r.add(&Class{Name: name, Kind: KObject, Super: super, Fields: fields})
+}
+
+// MustDefine is Define but panics on duplicate registration; intended
+// for program start-up.
+func (r *Registry) MustDefine(name string, super *Class, fields ...Field) *Class {
+	c, err := r.Define(name, super, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DoubleArray returns the built-in double[] class.
+func (r *Registry) DoubleArray() *Class { return r.MustByName("double[]") }
+
+// IntArray returns the built-in int[] class.
+func (r *Registry) IntArray() *Class { return r.MustByName("int[]") }
+
+// ByteArray returns the built-in byte[] class.
+func (r *Registry) ByteArray() *Class { return r.MustByName("byte[]") }
+
+// ArrayOf returns (registering on first use) the reference-array class
+// whose elements are elem, e.g. ArrayOf(double[]) is double[][].
+func (r *Registry) ArrayOf(elem *Class) *Class {
+	name := elem.Name + "[]"
+	r.mu.RLock()
+	c, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	c, err := r.add(&Class{Name: name, Kind: KRefArray, Elem: elem})
+	if err != nil {
+		// Lost a race: someone else registered it between the RLock
+		// and the add; fetch theirs.
+		return r.MustByName(name)
+	}
+	return c
+}
+
+// ByID resolves a wire class ID.
+func (r *Registry) ByID(id int32) (*Class, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byID[id]
+	return c, ok
+}
+
+// ByName resolves a class name.
+func (r *Registry) ByName(name string) (*Class, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byName[name]
+	return c, ok
+}
+
+// MustByName resolves a class name and panics if it is unknown.
+func (r *Registry) MustByName(name string) *Class {
+	c, ok := r.ByName(name)
+	if !ok {
+		panic("model: unknown class " + name)
+	}
+	return c
+}
+
+// Names returns all registered class names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+package rmi
+
+import (
+	"sync"
+
+	"cormi/internal/model"
+)
+
+// BarrierMethod is the method name exported by NewBarrierService.
+const BarrierMethod = "await"
+
+// NewBarrierService returns a remotely invokable barrier for the given
+// number of parties: "await" blocks until all parties have arrived,
+// then releases everyone. LU uses it exactly as the paper describes
+// ("updates are flushed to machine 0 and a barrier is entered").
+//
+// Virtual time: every party's reply is floored (Call.WaitUntil) at the
+// latest virtual arrival of its generation, so all waiters leave the
+// barrier at the same virtual instant without being charged CPU time.
+func NewBarrierService(parties int) *Service {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	gen := 0
+	type genState struct {
+		release int64 // latest virtual arrival
+		arrived int
+		pending int // parties that still need to read release
+	}
+	states := map[int]*genState{}
+	return &Service{
+		Name: "Barrier",
+		Methods: map[string]Method{
+			BarrierMethod: func(call *Call, args []model.Value) []model.Value {
+				mu.Lock()
+				defer mu.Unlock()
+				g := gen
+				st := states[g]
+				if st == nil {
+					st = &genState{}
+					states[g] = st
+				}
+				if call.Start() > st.release {
+					st.release = call.Start()
+				}
+				st.arrived++
+				st.pending++
+				if st.arrived == parties {
+					gen++
+					cond.Broadcast()
+				} else {
+					for g == gen {
+						cond.Wait()
+					}
+				}
+				// Every party leaves at the latest arrival: a
+				// condition wait, not CPU time.
+				call.WaitUntil(st.release)
+				st.pending--
+				if st.pending == 0 {
+					delete(states, g)
+				}
+				return nil
+			},
+		},
+	}
+}

@@ -1,0 +1,262 @@
+package rmi
+
+import (
+	"fmt"
+
+	"cormi/internal/model"
+	"cormi/internal/serial"
+	"cormi/internal/transport"
+	"cormi/internal/wire"
+)
+
+// CallSite is the per-call-site stub of §3.1: it owns the argument and
+// return-value serialization plans the compiler generated for exactly
+// this textual call, the configuration (which optimizations are
+// active), and the reuse caches. In "class" mode the plans are unused
+// and serialization is fully dynamic, which reproduces the baseline.
+type CallSite struct {
+	ID     int32
+	Name   string // e.g. "Work.go.1"
+	Method string // callee method name
+
+	cfg      serial.Config
+	argPlans []*serial.Plan
+	retPlans []*serial.Plan
+	numRet   int
+	// ignoreRet marks call sites whose return value is unused; with
+	// site mode the callee sends a bare acknowledgment (§3.1).
+	ignoreRet bool
+
+	// Reuse caches are per node: the callee-side argument cache lives
+	// on whichever node serves the call, the caller-side return cache
+	// on whichever node issued it (the paper's static temp_arr is
+	// per-JVM state).
+	argCaches []serial.ReuseCache
+	retCaches []serial.ReuseCache
+}
+
+// SiteSpec describes a call site to register.
+type SiteSpec struct {
+	Name      string
+	Method    string
+	ArgPlans  []*serial.Plan // one per argument (site mode)
+	RetPlans  []*serial.Plan // one per return value (site mode)
+	NumRet    int            // return value count (class mode needs it too)
+	IgnoreRet bool           // return value unused at this call site
+}
+
+// NewCallSite registers a call site on the cluster under the given
+// optimization level. Registration order must match across processes.
+func (c *Cluster) NewCallSite(level OptLevel, spec SiteSpec) (*CallSite, error) {
+	cfg := level.Config()
+	scfg := serial.Config{CycleElim: cfg.CycleElim, Reuse: cfg.Reuse}
+	if cfg.Site {
+		scfg.Mode = serial.ModeSite
+		for _, p := range spec.ArgPlans {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range spec.RetPlans {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		scfg.Mode = serial.ModeClass
+	}
+	numRet := spec.NumRet
+	if numRet == 0 && len(spec.RetPlans) > 0 {
+		numRet = len(spec.RetPlans)
+	}
+	cs := &CallSite{
+		Name:      spec.Name,
+		Method:    spec.Method,
+		cfg:       scfg,
+		argPlans:  spec.ArgPlans,
+		retPlans:  spec.RetPlans,
+		numRet:    numRet,
+		ignoreRet: spec.IgnoreRet,
+		argCaches: make([]serial.ReuseCache, c.Size()),
+		retCaches: make([]serial.ReuseCache, c.Size()),
+	}
+	c.siteMu.Lock()
+	cs.ID = int32(len(c.sites))
+	c.sites = append(c.sites, cs)
+	c.siteMu.Unlock()
+	return cs, nil
+}
+
+// MustNewCallSite is NewCallSite panicking on invalid plans.
+func (c *Cluster) MustNewCallSite(level OptLevel, spec SiteSpec) *CallSite {
+	cs, err := c.NewCallSite(level, spec)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// Config exposes the site's serializer configuration (for tests).
+func (cs *CallSite) Config() serial.Config { return cs.cfg }
+
+// Message type tags.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply flags.
+const (
+	replyAck    = 0
+	replyValues = 1
+	replyError  = 2
+)
+
+// Invoke performs the RMI from caller node n on the object ref.
+// Node-local calls deep-clone arguments and results instead of going
+// over the wire (Figure 1's cloning rule).
+func (cs *CallSite) Invoke(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
+	if ref.Node == n.ID {
+		return cs.invokeLocal(n, ref, args)
+	}
+	return cs.invokeRemote(n, ref, args)
+}
+
+// invokeLocal handles the case where the remote object happens to live
+// on the invoking machine: "the parameter and return value objects are
+// cloned. This ensures that the same parameter passing semantics are
+// observed regardless of the location of the called object" (§1). The
+// cloning runs through the same (optimized) serializers as a remote
+// call minus the network, so call-site specialization, cycle
+// elimination and reuse all apply to local RPCs too — which is what
+// lets the webserver reach zero allocations with reuse enabled.
+func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
+	c := n.cluster
+	c.Counters.LocalRPCs.Add(1)
+	svc, ok := n.lookup(ref.Obj)
+	if !ok {
+		return nil, fmt.Errorf("rmi: no object %d on node %d", ref.Obj, n.ID)
+	}
+	method, ok := svc.Methods[cs.Method]
+	if !ok {
+		return nil, fmt.Errorf("rmi: %s has no method %q", svc.Name, cs.Method)
+	}
+
+	clonedArgs, argRoots, err := cs.cloneThroughSerializer(n, args, cs.argPlans, &cs.argCaches[n.ID])
+	if err != nil {
+		return nil, err
+	}
+	rets := method(&Call{Node: n, From: n.ID, Site: cs}, clonedArgs)
+	// As on the remote path, the argument graphs go back into the
+	// cache only once the method is done with them.
+	if cs.cfg.Reuse {
+		cs.argCaches[n.ID].Put(argRoots)
+	}
+	if cs.ignoreRet && cs.cfg.Mode == serial.ModeSite {
+		// §3.1 applies to local calls too: a call site that ignores
+		// the return value skips the result-cloning step.
+		return nil, nil
+	}
+	cloned, retRoots, err := cs.cloneThroughSerializer(n, rets, cs.retPlans, &cs.retCaches[n.ID])
+	if err != nil {
+		return nil, err
+	}
+	if cs.cfg.Reuse {
+		cs.retCaches[n.ID].Put(retRoots)
+	}
+	return cloned, nil
+}
+
+// cloneThroughSerializer deep-copies vals by a serialize/deserialize
+// round trip on node n, honoring the call site's plans and drawing
+// donor graphs from cache; the caller is responsible for putting the
+// returned roots back once the values are dead.
+func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []*serial.Plan, cache *serial.ReuseCache) ([]model.Value, []*model.Object, error) {
+	c := n.cluster
+	if len(vals) == 0 {
+		return vals, nil, nil
+	}
+	m := wire.NewMessage(64)
+	wops, err := serial.WriteValues(m, vals, plans, cs.cfg, c.Counters)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cached []*model.Object
+	if cs.cfg.Reuse {
+		cached = cache.Take()
+	}
+	out, roots, rops, err := serial.ReadValues(wire.FromBytes(m.Bytes()), c.Registry, len(vals), plans, cs.cfg, cached, c.Counters)
+	if err != nil {
+		return nil, nil, err
+	}
+	wops.Add(rops)
+	n.Clock.Advance(c.Cost.CostNS(wops))
+	return out, roots, nil
+}
+
+func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
+	c := n.cluster
+	c.Counters.RemoteRPCs.Add(1)
+
+	m := wire.NewMessage(64)
+	m.AppendByte(msgCall)
+	m.AppendInt32(cs.ID)
+	m.AppendInt64(ref.Obj)
+	seq := n.seq.Add(1)
+	m.AppendInt64(seq)
+	m.AppendInt32(int32(len(args)))
+	ops, err := serial.WriteValues(m, args, cs.argPlans, cs.cfg, c.Counters)
+	if err != nil {
+		return nil, err
+	}
+	n.Clock.Advance(c.Cost.CostNS(ops))
+
+	ch := make(chan reply, 1)
+	n.pendMu.Lock()
+	n.pending[seq] = ch
+	n.pendMu.Unlock()
+	defer func() {
+		n.pendMu.Lock()
+		delete(n.pending, seq)
+		n.pendMu.Unlock()
+	}()
+
+	c.Counters.Messages.Add(1)
+	c.Counters.WireBytes.Add(int64(m.Len()))
+	if err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: m.Bytes()}); err != nil {
+		return nil, fmt.Errorf("rmi: send: %w", err)
+	}
+
+	rep := <-ch
+	if rep.err != nil {
+		return nil, rep.err
+	}
+	n.Clock.Sync(rep.arrival)
+	n.Clock.Advance(c.Cost.DispatchNS)
+
+	switch rep.flag {
+	case replyAck:
+		return nil, nil
+	case replyError:
+		rm := wire.FromBytes(rep.payload)
+		return nil, fmt.Errorf("rmi: remote error from %s: %s", cs.Name, rm.ReadString())
+	case replyValues:
+		rm := wire.FromBytes(rep.payload)
+		nvals := int(rm.ReadInt32())
+		var cached []*model.Object
+		if cs.cfg.Reuse {
+			cached = cs.retCaches[n.ID].Take()
+		}
+		vals, roots, ops, err := serial.ReadValues(rm, c.Registry, nvals, cs.retPlans, cs.cfg, cached, c.Counters)
+		if err != nil {
+			return nil, err
+		}
+		n.Clock.Advance(c.Cost.CostNS(ops))
+		if cs.cfg.Reuse {
+			cs.retCaches[n.ID].Put(roots)
+		}
+		return vals, nil
+	default:
+		return nil, fmt.Errorf("rmi: bad reply flag %d", rep.flag)
+	}
+}

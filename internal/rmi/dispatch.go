@@ -1,0 +1,168 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+
+	"cormi/internal/model"
+	"cormi/internal/serial"
+	"cormi/internal/transport"
+	"cormi/internal/wire"
+)
+
+// recvLoop drains the node's network endpoint. Incoming calls are
+// deserialized here — under the node's receive lock, reproducing the
+// paper's "only one thread can drain the network" rule — and then the
+// user method runs in a fresh goroutine. Replies are routed to the
+// pending invocation.
+func (n *Node) recvLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		p, ok := n.ep.Recv()
+		if !ok {
+			return
+		}
+		m := wire.FromBytes(p.Payload)
+		switch t := m.ReadU8(); t {
+		case msgCall:
+			n.recvMu.Lock()
+			n.handleCall(p, m)
+			n.recvMu.Unlock()
+		case msgReply:
+			seq := m.ReadInt64()
+			arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
+			flag := m.ReadU8()
+			payload := p.Payload[1+8+1:]
+			n.pendMu.Lock()
+			ch, ok := n.pending[seq]
+			if ok {
+				delete(n.pending, seq)
+			}
+			n.pendMu.Unlock()
+			if ok {
+				ch <- reply{flag: flag, payload: payload, arrival: arrival}
+			}
+		}
+	}
+}
+
+// handleCall deserializes one incoming call and launches the method.
+// It runs under the node receive lock on the node's communication
+// processor (the paper's GM poll thread).
+func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
+	c := n.cluster
+
+	// Message flight time + receiver upcall; the communication
+	// processor handles dispatch and unmarshaling contention free, so
+	// the invocation's timeline is purely causal.
+	arrival := p.TS + c.Cost.MessageNS(len(p.Payload))
+	start := arrival + c.Cost.DispatchNS
+
+	siteID := m.ReadInt32()
+	objID := m.ReadInt64()
+	seq := m.ReadInt64()
+	nargs := int(m.ReadInt32())
+	if m.Err() != nil {
+		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()))
+		return
+	}
+	cs, ok := c.site(siteID)
+	if !ok {
+		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID))
+		return
+	}
+	svc, ok := n.lookup(objID)
+	if !ok {
+		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID))
+		return
+	}
+	method, ok := svc.Methods[cs.Method]
+	if !ok {
+		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method))
+		return
+	}
+
+	// The unmarshaler: take the cached argument graphs (Figure 13's
+	// temp_arr guard), deserialize — overwriting them in place when
+	// shapes match — and hand the copies to the user code.
+	var cached []*model.Object
+	if cs.cfg.Reuse {
+		cached = cs.argCaches[n.ID].Take()
+	}
+	args, roots, ops, err := serial.ReadValues(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, c.Counters)
+	if err != nil {
+		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err))
+		return
+	}
+	start += c.Cost.CostNS(ops)
+
+	// "a new thread is created to invoke the user's code" (Figure 1).
+	go n.runMethod(cs, method, p.From, seq, start, args, roots)
+}
+
+// runMethod executes the user method, returns the cached argument
+// graphs to the call site, and ships the reply (or a bare ack when the
+// call site ignores the return value).
+func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object) {
+	c := n.cluster
+	call := &Call{Node: n, From: from, Site: cs, start: start}
+	var rets []model.Value
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("method panicked: %v", r)
+			}
+		}()
+		rets = method(call, args)
+		return nil
+	}()
+	// Escape analysis proved the argument graphs dead after the call;
+	// stash them for the next invocation of this site.
+	if cs.cfg.Reuse {
+		cs.argCaches[n.ID].Put(roots)
+	}
+	// The reply leaves no earlier than the invocation's own progress
+	// (start + the CPU time the method reported) and no earlier than
+	// the communication processor's current time; marshaling advances
+	// the latter.
+	done := call.start + call.computed
+	if err != nil {
+		n.sendError(from, seq, done, err.Error())
+		return
+	}
+
+	m := wire.NewMessage(64)
+	m.AppendByte(msgReply)
+	m.AppendInt64(seq)
+	var marshalNS int64
+	if cs.ignoreRet && cs.cfg.Mode == serial.ModeSite {
+		// §3.1: the return value is ignored at this call site — send a
+		// small acknowledgment instead of serializing it.
+		m.AppendByte(replyAck)
+		c.Counters.AcksOnly.Add(1)
+	} else {
+		m.AppendByte(replyValues)
+		m.AppendInt32(int32(len(rets)))
+		ops, werr := serial.WriteValues(m, rets, cs.retPlans, cs.cfg, c.Counters)
+		if werr != nil {
+			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr))
+			return
+		}
+		marshalNS = c.Cost.CostNS(ops)
+	}
+	ts := done + marshalNS
+	c.Counters.Messages.Add(1)
+	c.Counters.WireBytes.Add(int64(m.Len()))
+	_ = n.ep.Send(transport.Packet{To: from, TS: ts, Payload: m.Bytes()})
+}
+
+func (n *Node) sendError(to int, seq, floor int64, msg string) {
+	m := wire.NewMessage(32)
+	m.AppendByte(msgReply)
+	m.AppendInt64(seq)
+	m.AppendByte(replyError)
+	m.AppendString(msg)
+	n.cluster.Counters.Messages.Add(1)
+	n.cluster.Counters.WireBytes.Add(int64(m.Len()))
+	_ = n.ep.Send(transport.Packet{To: to, TS: floor, Payload: m.Bytes()})
+}

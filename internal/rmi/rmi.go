@@ -1,0 +1,343 @@
+// Package rmi is the remote-method-invocation runtime: a cluster of
+// nodes connected by a transport, remote object references, and
+// per-call-site stubs. It reimplements the JavaParty/Manta runtime
+// behavior the paper relies on:
+//
+//   - a generated marshaler serializes arguments and sends them to the
+//     callee, where an unmarshaler reconstitutes copies and invokes the
+//     user code in a fresh thread (Figure 1);
+//   - node-local calls deep-clone arguments and results so parameter
+//     passing semantics do not depend on object placement;
+//   - one receiver drains a node's network at a time (the paper's
+//     unmarshaler lock);
+//   - callee-side argument caches and caller-side return-value caches
+//     implement the object-reuse optimization with the take/put guard
+//     of Figure 13.
+//
+// Virtual time: every node has a simtime.Clock; marshaling,
+// unmarshaling, allocation and message flight advance the clocks
+// through the cluster's cost model, so Cluster.MaxTime is the virtual
+// makespan that the benchmark tables report.
+package rmi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cormi/internal/model"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
+	"cormi/internal/transport"
+)
+
+// OptLevel names the five optimization configurations evaluated in the
+// paper's tables.
+type OptLevel int
+
+const (
+	// LevelClass is per-class serialization (the baseline).
+	LevelClass OptLevel = iota
+	// LevelSite enables call-site-specific serializers (§3.1).
+	LevelSite
+	// LevelSiteCycle adds static cycle-detection elimination (§3.2).
+	LevelSiteCycle
+	// LevelSiteReuse adds argument/return-value reuse (§3.3).
+	LevelSiteReuse
+	// LevelSiteReuseCycle enables all optimizations.
+	LevelSiteReuseCycle
+)
+
+// AllLevels lists the configurations in table order.
+var AllLevels = []OptLevel{LevelClass, LevelSite, LevelSiteCycle, LevelSiteReuse, LevelSiteReuseCycle}
+
+func (l OptLevel) String() string {
+	switch l {
+	case LevelClass:
+		return "class"
+	case LevelSite:
+		return "site"
+	case LevelSiteCycle:
+		return "site + cycle"
+	case LevelSiteReuse:
+		return "site + reuse"
+	case LevelSiteReuseCycle:
+		return "site + reuse + cycle"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(l))
+	}
+}
+
+// Config returns the serializer configuration for this level.
+func (l OptLevel) Config() Config {
+	switch l {
+	case LevelClass:
+		return Config{}
+	case LevelSite:
+		return Config{Site: true}
+	case LevelSiteCycle:
+		return Config{Site: true, CycleElim: true}
+	case LevelSiteReuse:
+		return Config{Site: true, Reuse: true}
+	default:
+		return Config{Site: true, CycleElim: true, Reuse: true}
+	}
+}
+
+// Config mirrors serial.Config at the RMI layer.
+type Config struct {
+	Site      bool
+	CycleElim bool
+	Reuse     bool
+}
+
+// Ref identifies an exported remote object.
+type Ref struct {
+	Node int
+	Obj  int64
+}
+
+// Method is the implementation of one remotely invokable method. It
+// receives deserialized argument copies and returns the values to ship
+// back. Methods run in their own goroutine (the paper's "new thread is
+// created to invoke the user's code").
+type Method func(call *Call, args []model.Value) []model.Value
+
+// Service is a remotely invokable object: a named method table.
+type Service struct {
+	Name    string
+	Methods map[string]Method
+}
+
+// Call carries per-invocation context into a Method.
+type Call struct {
+	// Node is the node executing the method; use it for nested RMIs.
+	Node *Node
+	// From is the id of the invoking node.
+	From int
+	// Site is the call site that produced this invocation.
+	Site *CallSite
+
+	// start is the invocation's virtual start time (arrival +
+	// dispatch + unmarshal) and computed the CPU/wait time the method
+	// reported; together they floor the reply timestamp.
+	start    int64
+	computed int64
+}
+
+// Compute advances the executing node's virtual clock by ns
+// nanoseconds, modeling the method's own CPU work.
+func (c *Call) Compute(ns int64) {
+	c.Node.Clock.Advance(ns)
+	c.computed += ns
+}
+
+// Start returns the invocation's virtual start time.
+func (c *Call) Start() int64 { return c.start }
+
+// WaitUntil raises the invocation's completion floor to ts without
+// charging CPU time — condition waits (e.g. a barrier's release) delay
+// the reply but burn no cycles.
+func (c *Call) WaitUntil(ts int64) {
+	if d := ts - (c.start + c.computed); d > 0 {
+		c.computed += d
+	}
+}
+
+// Cluster is a set of nodes sharing a transport, a class registry, a
+// cost model and a statistics block.
+type Cluster struct {
+	Registry *model.Registry
+	Counters *stats.Counters
+	Cost     simtime.CostModel
+
+	net   transport.Network
+	owns  bool // whether Close should close the network
+	nodes []*Node
+
+	siteMu sync.RWMutex
+	sites  []*CallSite
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// Option configures a cluster.
+type Option func(*clusterOpts)
+
+type clusterOpts struct {
+	net      transport.Network
+	owns     bool
+	cost     simtime.CostModel
+	registry *model.Registry
+	depth    int
+}
+
+// WithNetwork runs the cluster over an externally created network
+// (e.g. TCP); the cluster still closes it on Close.
+func WithNetwork(n transport.Network) Option {
+	return func(o *clusterOpts) { o.net = n; o.owns = true }
+}
+
+// WithCostModel overrides the default calibrated cost model.
+func WithCostModel(m simtime.CostModel) Option {
+	return func(o *clusterOpts) { o.cost = m }
+}
+
+// WithRegistry shares a class registry with the caller.
+func WithRegistry(r *model.Registry) Option {
+	return func(o *clusterOpts) { o.registry = r }
+}
+
+// New creates a cluster of n nodes (default: in-process channel
+// network) and starts their receive loops.
+func New(n int, opts ...Option) *Cluster {
+	o := clusterOpts{cost: simtime.DefaultCostModel(), depth: 1024}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.net == nil {
+		o.net = transport.NewChannelNetwork(n, o.depth)
+		o.owns = true
+	}
+	if o.registry == nil {
+		o.registry = model.NewRegistry()
+	}
+	c := &Cluster{
+		Registry: o.registry,
+		Counters: &stats.Counters{},
+		Cost:     o.cost,
+		net:      o.net,
+		owns:     o.owns,
+	}
+	c.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		c.nodes[i] = newNode(c, i)
+	}
+	for _, nd := range c.nodes {
+		c.wg.Add(1)
+		go nd.recvLoop(&c.wg)
+	}
+	return c
+}
+
+// Size returns the node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Close shuts the cluster down; outstanding invocations fail.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.net.Close()
+	c.wg.Wait()
+	for _, n := range c.nodes {
+		n.failPending()
+	}
+}
+
+// MaxTime returns the virtual makespan: the maximum node clock.
+func (c *Cluster) MaxTime() int64 {
+	var max int64
+	for _, n := range c.nodes {
+		if t := n.Clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ResetClocks zeroes all node clocks (between benchmark phases).
+func (c *Cluster) ResetClocks() {
+	for _, n := range c.nodes {
+		n.Clock.Reset()
+	}
+}
+
+func (c *Cluster) site(id int32) (*CallSite, bool) {
+	c.siteMu.RLock()
+	defer c.siteMu.RUnlock()
+	if id < 0 || int(id) >= len(c.sites) {
+		return nil, false
+	}
+	return c.sites[id], true
+}
+
+// Node is one machine of the cluster.
+type Node struct {
+	ID int
+	// Clock is the node's CPU clock: application compute, caller-side
+	// marshaling and unmarshaling, local-call cloning. Incoming-call
+	// serialization is handled by the node's communication processor
+	// (the GM poll thread / NIC of the paper's testbed) contention
+	// free: its cost rides the reply timestamp — on the requester's
+	// critical path — without delaying this node's own computation.
+	// This makes the virtual timeline a pure causal critical path,
+	// independent of Go scheduler interleavings (deterministic).
+	Clock   simtime.Clock
+	cluster *Cluster
+	ep      transport.Endpoint
+
+	objMu   sync.RWMutex
+	objects map[int64]*Service
+	nextObj int64
+
+	pendMu  sync.Mutex
+	pending map[int64]chan reply
+	seq     atomic.Int64
+
+	// recvMu is the paper's per-node unmarshaler lock: only one thread
+	// drains the network and deserializes at a time.
+	recvMu sync.Mutex
+}
+
+type reply struct {
+	flag    byte
+	payload []byte
+	arrival int64
+	err     error
+}
+
+func newNode(c *Cluster, id int) *Node {
+	return &Node{
+		ID:      id,
+		cluster: c,
+		ep:      c.net.Endpoint(id),
+		objects: make(map[int64]*Service),
+		pending: make(map[int64]chan reply),
+	}
+}
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Export publishes a service on this node and returns its remote
+// reference. Export order must match across processes in distributed
+// (TCP) deployments, exactly like rmic-generated registries.
+func (n *Node) Export(svc *Service) Ref {
+	n.objMu.Lock()
+	defer n.objMu.Unlock()
+	id := n.nextObj
+	n.nextObj++
+	n.objects[id] = svc
+	return Ref{Node: n.ID, Obj: id}
+}
+
+func (n *Node) lookup(obj int64) (*Service, bool) {
+	n.objMu.RLock()
+	defer n.objMu.RUnlock()
+	s, ok := n.objects[obj]
+	return s, ok
+}
+
+func (n *Node) failPending() {
+	n.pendMu.Lock()
+	defer n.pendMu.Unlock()
+	for seq, ch := range n.pending {
+		ch <- reply{err: fmt.Errorf("rmi: cluster closed")}
+		delete(n.pending, seq)
+	}
+}

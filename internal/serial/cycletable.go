@@ -1,0 +1,39 @@
+package serial
+
+import (
+	"cormi/internal/model"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
+)
+
+// writeTable is the cycle-detection hash-table of the serializer: it
+// maps every object already written to its transmission index so that
+// re-encounters become handles instead of infinite recursion. Creating
+// it, inserting every reference and looking references up is exactly
+// the overhead the paper's §3.2 optimization removes when the heap
+// analysis proves the argument graph acyclic.
+type writeTable struct {
+	m    map[*model.Object]int32
+	next int32
+}
+
+// newWriteTable creates (and accounts for) a cycle table.
+func newWriteTable(c *stats.Counters, ops *simtime.OpCount) *writeTable {
+	c.CycleTables.Add(1)
+	ops.CycleTables++
+	return &writeTable{m: make(map[*model.Object]int32)}
+}
+
+// lookupOrAdd returns the handle of o if it was already serialized, or
+// assigns the next handle and reports !found.
+func (t *writeTable) lookupOrAdd(o *model.Object, c *stats.Counters, ops *simtime.OpCount) (handle int32, found bool) {
+	c.CycleLookups.Add(1)
+	ops.CycleLookups++
+	if h, ok := t.m[o]; ok {
+		return h, true
+	}
+	h := t.next
+	t.next++
+	t.m[o] = h
+	return h, false
+}

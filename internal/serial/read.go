@@ -1,0 +1,333 @@
+package serial
+
+import (
+	"fmt"
+
+	"cormi/internal/model"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
+	"cormi/internal/wire"
+)
+
+// ReadValues deserializes n values written by WriteValues under the
+// same configuration. In site mode, plans must match the writer's
+// plans. cached, when non-nil, supplies per-value root objects from a
+// previous invocation (the reuse optimization, §3.3); the returned
+// roots slice holds the object graphs now backing each reference value
+// so the caller can stash them back into the reuse cache.
+func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg Config, cached []*model.Object, c *stats.Counters) (vals []model.Value, roots []*model.Object, ops simtime.OpCount, err error) {
+	if cfg.Mode == ModeSite && len(plans) != n {
+		return nil, nil, ops, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), n)
+	}
+	rc := &readCtx{m: m, reg: reg, c: c, ops: &ops}
+	vals = make([]model.Value, n)
+	roots = make([]*model.Object, n)
+	for i := 0; i < n; i++ {
+		var kind model.FieldKind
+		var np *NodePlan
+		var old *model.Object
+		if cfg.Mode == ModeClass {
+			kind = model.FieldKind(m.ReadU8())
+		} else {
+			p := plans[i]
+			kind = p.Kind
+			np = p.Root
+			if cfg.Reuse && p.Reusable && i < len(cached) {
+				old = cached[i]
+			}
+		}
+		switch kind {
+		case model.FInt:
+			vals[i] = model.Int(m.ReadInt64())
+		case model.FDouble:
+			vals[i] = model.Double(m.ReadFloat64())
+		case model.FBool:
+			vals[i] = model.Bool(m.ReadBool())
+		case model.FString:
+			s := m.ReadString()
+			if cfg.Mode == ModeClass {
+				rc.dynString(len(s))
+			}
+			vals[i] = model.Str(s)
+		case model.FRef:
+			o, rerr := readRef(rc, np, old)
+			if rerr != nil {
+				return nil, nil, ops, rerr
+			}
+			vals[i] = model.Ref(o)
+			roots[i] = o
+		default:
+			return nil, nil, ops, fmt.Errorf("serial: bad value kind %d at index %d", kind, i)
+		}
+	}
+	if m.Err() != nil {
+		return nil, nil, ops, m.Err()
+	}
+	return vals, roots, ops, nil
+}
+
+// readRef reads one reference written by writeRef. old, when non-nil,
+// is the object deserialized at this position by the previous
+// invocation; if its shape matches, it is overwritten in place instead
+// of allocating (Figure 13).
+func readRef(rc *readCtx, np *NodePlan, old *model.Object) (*model.Object, error) {
+	switch marker := rc.m.ReadU8(); marker {
+	case refNull:
+		return nil, nil
+	case refHandle:
+		h := rc.m.ReadInt32()
+		o := rc.resolve(h)
+		if o == nil && rc.m.Err() == nil {
+			return nil, fmt.Errorf("serial: dangling handle %d", h)
+		}
+		return o, nil
+	case refNewDynamic:
+		return readDynamicBody(rc)
+	case refNew:
+		if np == nil {
+			return nil, fmt.Errorf("serial: planned object on wire but no plan on reader")
+		}
+		return readPlannedBody(rc, np, old)
+	default:
+		if rc.m.Err() != nil {
+			return nil, rc.m.Err()
+		}
+		return nil, fmt.Errorf("serial: bad reference marker %d", marker)
+	}
+}
+
+// dynString accounts for deserializing a string through the dynamic
+// path: two allocations (String + char[]), two dynamic deserializer
+// invocations, two type descriptors to resolve.
+func (rc *readCtx) dynString(payload int) {
+	rc.ops.SerializerCalls += 2
+	rc.ops.TypeOps += 2
+	rc.ops.Allocs += 2
+	rc.c.AllocObjects.Add(2)
+	rc.c.AllocBytes.Add(int64(32 + payload))
+}
+
+// dynArrayIntrospect mirrors the write-side array examination cost.
+func (rc *readCtx) dynArrayIntrospect(n int) {
+	rc.ops.IntrospectOps += int64(n/4) + 1
+}
+
+// readDynamicBody reconstructs an object from its explicit class ID —
+// the receiver must parse the type information and map the descriptor
+// to a class ("hash a type descriptor to vtable pointers", §4).
+func readDynamicBody(rc *readCtx) (*model.Object, error) {
+	id := rc.m.ReadInt32()
+	if rc.m.Err() != nil {
+		return nil, rc.m.Err()
+	}
+	class, ok := rc.reg.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("serial: unknown class ID %d", id)
+	}
+	rc.ops.TypeOps++
+	rc.ops.SerializerCalls++
+	switch class.Kind {
+	case model.KObject:
+		o := model.New(class)
+		rc.register(o)
+		rc.allocated(o)
+		for i, f := range class.AllFields() {
+			rc.ops.IntrospectOps++
+			switch f.Kind {
+			case model.FInt:
+				o.Fields[i] = model.Int(rc.m.ReadInt64())
+			case model.FDouble:
+				o.Fields[i] = model.Double(rc.m.ReadFloat64())
+			case model.FBool:
+				o.Fields[i] = model.Bool(rc.m.ReadBool())
+			case model.FString:
+				s := rc.m.ReadString()
+				rc.dynString(len(s))
+				o.Fields[i] = model.Str(s)
+			case model.FRef:
+				child, err := readRef(rc, nil, nil)
+				if err != nil {
+					return nil, err
+				}
+				o.Fields[i] = model.Ref(child)
+			}
+		}
+		return o, nil
+	case model.KDoubleArray:
+		vs := rc.m.ReadFloat64Slice()
+		rc.dynArrayIntrospect(len(vs))
+		o := &model.Object{Class: class, Doubles: vs}
+		rc.register(o)
+		rc.allocated(o)
+		rc.ops.Elems += int64(len(vs))
+		return o, nil
+	case model.KIntArray:
+		vs := rc.m.ReadInt64Slice()
+		rc.dynArrayIntrospect(len(vs))
+		o := &model.Object{Class: class, Ints: vs}
+		rc.register(o)
+		rc.allocated(o)
+		rc.ops.Elems += int64(len(vs))
+		return o, nil
+	case model.KByteArray:
+		bs := rc.m.ReadBytes()
+		rc.dynArrayIntrospect(len(bs))
+		o := &model.Object{Class: class, Bytes: bs}
+		rc.register(o)
+		rc.allocated(o)
+		rc.ops.Elems += int64(len(bs))
+		return o, nil
+	case model.KRefArray:
+		n := int(rc.m.ReadInt32())
+		if rc.m.Err() != nil {
+			return nil, rc.m.Err()
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("serial: negative array length %d", n)
+		}
+		rc.dynArrayIntrospect(n)
+		o := &model.Object{Class: class, Refs: make([]*model.Object, n)}
+		rc.register(o)
+		rc.allocated(o)
+		for i := 0; i < n; i++ {
+			child, err := readRef(rc, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			o.Refs[i] = child
+		}
+		return o, nil
+	}
+	return nil, fmt.Errorf("serial: bad class kind %v", class.Kind)
+}
+
+// readPlannedBody reconstructs an object whose class is known from the
+// call site plan — no type information is read, field reads are
+// inlined, and the previous invocation's object is overwritten in
+// place when its shape matches.
+func readPlannedBody(rc *readCtx, np *NodePlan, old *model.Object) (*model.Object, error) {
+	switch np.Class.Kind {
+	case model.KObject:
+		var o *model.Object
+		if rc.takeDonor(old, np.Class) {
+			o = old
+			rc.reused(o)
+		} else {
+			o = model.New(np.Class)
+			rc.allocated(o)
+		}
+		rc.register(o)
+		for _, s := range np.Steps {
+			switch s.Op {
+			case OpInt:
+				o.Fields[s.Field] = model.Int(rc.m.ReadInt64())
+			case OpDouble:
+				o.Fields[s.Field] = model.Double(rc.m.ReadFloat64())
+			case OpBool:
+				o.Fields[s.Field] = model.Bool(rc.m.ReadBool())
+			case OpString:
+				o.Fields[s.Field] = model.Str(rc.m.ReadString())
+			case OpRef, OpRefDynamic:
+				var oldChild *model.Object
+				if o == old {
+					oldChild = o.Fields[s.Field].O
+				}
+				target := s.Target
+				if s.Op == OpRefDynamic {
+					target = nil
+					oldChild = nil
+				}
+				child, err := readRef(rc, target, oldChild)
+				if err != nil {
+					return nil, err
+				}
+				o.Fields[s.Field] = model.Ref(child)
+				continue
+			}
+			rc.ops.InlinedWrites++
+		}
+		return o, nil
+	case model.KDoubleArray:
+		var dst []float64
+		if rc.takeDonor(old, np.Class) {
+			dst = old.Doubles
+		}
+		vs, reusedSlice := rc.m.ReadFloat64SliceInto(dst)
+		rc.ops.Elems += int64(len(vs))
+		rc.ops.InlinedWrites++
+		if reusedSlice {
+			old.Doubles = vs
+			rc.reused(old)
+			rc.register(old)
+			return old, nil
+		}
+		o := &model.Object{Class: np.Class, Doubles: vs}
+		rc.allocated(o)
+		rc.register(o)
+		return o, nil
+	case model.KIntArray:
+		var dst []int64
+		if rc.takeDonor(old, np.Class) {
+			dst = old.Ints
+		}
+		vs, reusedSlice := rc.m.ReadInt64SliceInto(dst)
+		rc.ops.Elems += int64(len(vs))
+		rc.ops.InlinedWrites++
+		if reusedSlice {
+			old.Ints = vs
+			rc.reused(old)
+			rc.register(old)
+			return old, nil
+		}
+		o := &model.Object{Class: np.Class, Ints: vs}
+		rc.allocated(o)
+		rc.register(o)
+		return o, nil
+	case model.KByteArray:
+		bs := rc.m.ReadBytes()
+		rc.ops.Elems += int64(len(bs))
+		rc.ops.InlinedWrites++
+		if rc.takeDonor(old, np.Class) && len(old.Bytes) == len(bs) {
+			copy(old.Bytes, bs)
+			rc.reused(old)
+			rc.register(old)
+			return old, nil
+		}
+		o := &model.Object{Class: np.Class, Bytes: bs}
+		rc.allocated(o)
+		rc.register(o)
+		return o, nil
+	case model.KRefArray:
+		n := int(rc.m.ReadInt32())
+		if rc.m.Err() != nil {
+			return nil, rc.m.Err()
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("serial: negative array length %d", n)
+		}
+		rc.ops.InlinedWrites++
+		var o *model.Object
+		reuse := rc.takeDonor(old, np.Class) && len(old.Refs) == n
+		if reuse {
+			o = old
+			rc.reused(o)
+		} else {
+			o = &model.Object{Class: np.Class, Refs: make([]*model.Object, n)}
+			rc.allocated(o)
+		}
+		rc.register(o)
+		for i := 0; i < n; i++ {
+			var oldChild *model.Object
+			if reuse {
+				oldChild = o.Refs[i]
+			}
+			child, err := readRef(rc, np.Elem, oldChild)
+			if err != nil {
+				return nil, err
+			}
+			o.Refs[i] = child
+		}
+		return o, nil
+	}
+	return nil, fmt.Errorf("serial: bad plan class kind %v", np.Class.Kind)
+}

@@ -1,0 +1,37 @@
+package serial
+
+import (
+	"sync"
+
+	"cormi/internal/model"
+)
+
+// ReuseCache keeps the object graphs deserialized by the previous
+// invocation of one call site, so the next invocation can overwrite
+// them in place (§3.3). It implements the multithreading guard of
+// Figure 13: Take removes the cached graphs (leaving nil behind), so a
+// concurrent invocation of the same call site simply allocates fresh
+// objects instead of racing on the cache.
+type ReuseCache struct {
+	mu    sync.Mutex
+	slots []*model.Object
+}
+
+// Take removes and returns the cached per-value roots (nil on the
+// first invocation or while another thread holds them).
+func (rc *ReuseCache) Take() []*model.Object {
+	rc.mu.Lock()
+	s := rc.slots
+	rc.slots = nil
+	rc.mu.Unlock()
+	return s
+}
+
+// Put stores the roots deserialized by this invocation for the next
+// one. If another invocation already put its roots back, the newer
+// ones win (either graph is a valid donor).
+func (rc *ReuseCache) Put(slots []*model.Object) {
+	rc.mu.Lock()
+	rc.slots = slots
+	rc.mu.Unlock()
+}

@@ -1,0 +1,115 @@
+// Package serial implements both serializer generations that the paper
+// compares:
+//
+//   - "class" mode (the baseline of KaRMI/Manta): one generated
+//     serializer per class, invoked dynamically for every object;
+//     per-object type information on the wire; cycle hash-table always
+//     created.
+//   - "site" mode (the paper's contribution, §3.1): a serialization
+//     Plan generated per RMI call site by the compiler
+//     (internal/core). Field writes are inlined, statically known
+//     referents carry no type information and no dynamic serializer
+//     invocation, the cycle table is omitted when the heap analysis
+//     proves the argument graphs acyclic (§3.2), and deserialized
+//     object graphs are reused across calls when escape analysis
+//     permits (§3.3, Figure 13).
+//
+// All operations are tallied into stats.Counters (for Tables 4/6/8) and
+// simtime.OpCount (for the virtual-time cost model).
+package serial
+
+import (
+	"cormi/internal/model"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
+	"cormi/internal/wire"
+)
+
+// Mode selects the serializer generation.
+type Mode uint8
+
+const (
+	// ModeClass is per-class dynamic serialization (baseline).
+	ModeClass Mode = iota
+	// ModeSite is per-call-site plan-driven serialization.
+	ModeSite
+)
+
+func (m Mode) String() string {
+	if m == ModeClass {
+		return "class"
+	}
+	return "site"
+}
+
+// Reference markers on the wire.
+const (
+	refNull       = 0 // null reference
+	refNew        = 1 // object follows, type known from the call site plan
+	refHandle     = 2 // int32 handle to a previously transmitted object
+	refNewDynamic = 3 // object follows with explicit class ID (class mode
+	// or plan fallback for polymorphic references)
+)
+
+// writeCtx bundles the write-side state of one message.
+type writeCtx struct {
+	m     *wire.Message
+	c     *stats.Counters
+	ops   *simtime.OpCount
+	table *writeTable // nil when cycle detection is eliminated
+}
+
+// readCtx bundles the read-side state of one message.
+type readCtx struct {
+	m       *wire.Message
+	reg     *model.Registry
+	c       *stats.Counters
+	ops     *simtime.OpCount
+	handles []*model.Object // objects in transmission order, for refHandle
+	// usedDonors guards the reuse walk: a cached graph may contain
+	// sharing (it was itself deserialized from a message with
+	// handles), so the same donor object could otherwise be offered to
+	// two distinct wire objects and collapse the new graph.
+	usedDonors map[*model.Object]bool
+}
+
+// takeDonor claims old as the in-place-overwrite target for one wire
+// object, refusing donors of the wrong class or donors already claimed
+// this message.
+func (rc *readCtx) takeDonor(old *model.Object, class *model.Class) bool {
+	if old == nil || old.Class != class {
+		return false
+	}
+	if rc.usedDonors == nil {
+		rc.usedDonors = make(map[*model.Object]bool)
+	}
+	if rc.usedDonors[old] {
+		return false
+	}
+	rc.usedDonors[old] = true
+	return true
+}
+
+func (rc *readCtx) register(o *model.Object) {
+	rc.handles = append(rc.handles, o)
+}
+
+func (rc *readCtx) resolve(h int32) *model.Object {
+	if h < 0 || int(h) >= len(rc.handles) {
+		return nil
+	}
+	return rc.handles[h]
+}
+
+// allocated records a deserialization allocation.
+func (rc *readCtx) allocated(o *model.Object) {
+	rc.c.AllocObjects.Add(1)
+	rc.c.AllocBytes.Add(o.SizeBytes())
+	rc.ops.Allocs++
+}
+
+// reused records an in-place reuse of a cached object.
+func (rc *readCtx) reused(o *model.Object) {
+	rc.c.ReusedObjs.Add(1)
+	rc.c.ReusedBytes.Add(o.SizeBytes())
+}

@@ -1,0 +1,250 @@
+package serial
+
+import (
+	"fmt"
+
+	"cormi/internal/model"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
+	"cormi/internal/wire"
+)
+
+// Config selects which of the paper's optimizations are active for a
+// message. The five evaluated configurations are:
+//
+//	class:             {Mode: ModeClass}
+//	site:              {Mode: ModeSite}
+//	site+cycle:        {Mode: ModeSite, CycleElim: true}
+//	site+reuse:        {Mode: ModeSite, Reuse: true}
+//	site+reuse+cycle:  {Mode: ModeSite, CycleElim: true, Reuse: true}
+type Config struct {
+	Mode      Mode
+	CycleElim bool // honor Plan.NeedCycle instead of always creating tables
+	Reuse     bool // honor Plan.Reusable (caller supplies the cache)
+}
+
+// needTable decides whether this message requires a cycle table.
+func needTable(vals []model.Value, plans []*Plan, cfg Config) bool {
+	for i, v := range vals {
+		if v.Kind != model.FRef || v.O == nil {
+			continue
+		}
+		if cfg.Mode == ModeClass {
+			return true
+		}
+		var p *Plan
+		if i < len(plans) {
+			p = plans[i]
+		}
+		if p == nil || !cfg.CycleElim || p.NeedCycle {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteValues serializes vals into m under cfg. In site mode, plans
+// must contain one entry per value (produced by the compiler for this
+// call site). The returned OpCount feeds the virtual-time cost model.
+func WriteValues(m *wire.Message, vals []model.Value, plans []*Plan, cfg Config, c *stats.Counters) (simtime.OpCount, error) {
+	if cfg.Mode == ModeSite && len(plans) != len(vals) {
+		return simtime.OpCount{}, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), len(vals))
+	}
+	w := &writeCtx{m: m, c: c, ops: &simtime.OpCount{}}
+	if cfg.Mode == ModeClass && len(vals) > 0 {
+		// Generic marshaler entry: protocol dispatch the call-site
+		// specific stubs compile away (§3.1).
+		w.ops.StubOps++
+	}
+	if needTable(vals, plans, cfg) {
+		w.table = newWriteTable(c, w.ops)
+	}
+	for i, v := range vals {
+		if cfg.Mode == ModeClass {
+			// Self-describing: kind byte per value plus per-object
+			// class IDs below.
+			m.AppendByte(byte(v.Kind))
+			c.TypeBytes.Add(1)
+			if v.Kind == model.FString {
+				w.dynString()
+			}
+			writeValue(w, v, nil)
+		} else {
+			p := plans[i]
+			if p.Kind != v.Kind {
+				return *w.ops, fmt.Errorf("serial: plan %s expects %v, got %v", p.Site, p.Kind, v.Kind)
+			}
+			writeValue(w, v, p.Root)
+		}
+	}
+	return *w.ops, nil
+}
+
+// writeValue writes one value; np is the call-site object plan for
+// reference values (nil selects the dynamic path).
+func writeValue(w *writeCtx, v model.Value, np *NodePlan) {
+	switch v.Kind {
+	case model.FInt:
+		w.m.AppendInt64(v.I)
+		w.ops.InlinedWrites++
+	case model.FDouble:
+		w.m.AppendFloat64(v.D)
+		w.ops.InlinedWrites++
+	case model.FBool:
+		w.m.AppendBool(v.AsBool())
+		w.ops.InlinedWrites++
+	case model.FString:
+		w.m.AppendString(v.S)
+		w.ops.InlinedWrites++
+	case model.FRef:
+		writeRef(w, v.O, np)
+	}
+}
+
+// writeRef writes an object reference: null marker, cycle handle,
+// plan-driven body (refNew, no type info) or dynamic body
+// (refNewDynamic, explicit class ID).
+func writeRef(w *writeCtx, o *model.Object, np *NodePlan) {
+	if o == nil {
+		w.m.AppendByte(refNull)
+		return
+	}
+	if w.table != nil {
+		if h, found := w.table.lookupOrAdd(o, w.c, w.ops); found {
+			w.m.AppendByte(refHandle)
+			w.m.AppendInt32(h)
+			return
+		}
+	}
+	if np != nil && o.Class == np.Class {
+		w.m.AppendByte(refNew)
+		w.c.InlinedWrites.Add(1)
+		writePlannedBody(w, o, np)
+		return
+	}
+	// Dynamic path: class mode, polymorphic fallback, or a plan miss
+	// (the object's runtime class differs from the static prediction).
+	w.m.AppendByte(refNewDynamic)
+	w.m.AppendInt32(o.Class.ID)
+	w.c.TypeBytes.Add(4)
+	w.c.TypeOps.Add(1)
+	w.ops.TypeOps++
+	w.c.SerializerCalls.Add(1)
+	w.ops.SerializerCalls++
+	writeDynamicBody(w, o)
+}
+
+// dynString accounts for serializing a string through the dynamic
+// path: in Java a String is two heap objects (the String and its
+// char[]), each with a dynamic serializer invocation and type
+// information — overhead the call-site plans remove by knowing the
+// field is a String statically.
+func (w *writeCtx) dynString() {
+	w.c.SerializerCalls.Add(2)
+	w.ops.SerializerCalls += 2
+	w.c.TypeOps.Add(2)
+	w.c.TypeBytes.Add(8)
+	w.ops.TypeOps += 2
+}
+
+// dynArrayIntrospect accounts for the class-mode examination of an
+// array: "the arrays have to be inspected ... each sub array examined
+// to compute the size of the array's payload" (§4).
+func (w *writeCtx) dynArrayIntrospect(n int) {
+	steps := int64(n/4) + 1
+	w.c.IntrospectOps.Add(steps)
+	w.ops.IntrospectOps += steps
+}
+
+// writeDynamicBody emits an object through the per-class generated
+// serializer: an introspection step per field, a dynamic serializer
+// invocation per referred-to object, type information per object.
+func writeDynamicBody(w *writeCtx, o *model.Object) {
+	switch o.Class.Kind {
+	case model.KObject:
+		for i, f := range o.Class.AllFields() {
+			w.c.IntrospectOps.Add(1)
+			w.ops.IntrospectOps++
+			v := o.Fields[i]
+			switch f.Kind {
+			case model.FInt:
+				w.m.AppendInt64(v.I)
+			case model.FDouble:
+				w.m.AppendFloat64(v.D)
+			case model.FBool:
+				w.m.AppendBool(v.AsBool())
+			case model.FString:
+				w.dynString()
+				w.m.AppendString(v.S)
+			case model.FRef:
+				writeRef(w, v.O, nil)
+			}
+		}
+	case model.KDoubleArray:
+		w.dynArrayIntrospect(len(o.Doubles))
+		w.m.AppendFloat64Slice(o.Doubles)
+		w.ops.Elems += int64(len(o.Doubles))
+	case model.KIntArray:
+		w.dynArrayIntrospect(len(o.Ints))
+		w.m.AppendInt64Slice(o.Ints)
+		w.ops.Elems += int64(len(o.Ints))
+	case model.KByteArray:
+		w.dynArrayIntrospect(len(o.Bytes))
+		w.m.AppendBytes(o.Bytes)
+		w.ops.Elems += int64(len(o.Bytes))
+	case model.KRefArray:
+		w.dynArrayIntrospect(len(o.Refs))
+		w.m.AppendInt32(int32(len(o.Refs)))
+		for _, e := range o.Refs {
+			writeRef(w, e, nil)
+		}
+	}
+}
+
+// writePlannedBody emits an object through the call-site-specific
+// inlined code path: field writes are direct, statically known
+// referents carry no type information.
+func writePlannedBody(w *writeCtx, o *model.Object, np *NodePlan) {
+	switch np.Class.Kind {
+	case model.KObject:
+		for _, s := range np.Steps {
+			v := o.Fields[s.Field]
+			switch s.Op {
+			case OpInt:
+				w.m.AppendInt64(v.I)
+			case OpDouble:
+				w.m.AppendFloat64(v.D)
+			case OpBool:
+				w.m.AppendBool(v.AsBool())
+			case OpString:
+				w.m.AppendString(v.S)
+			case OpRef:
+				writeRef(w, v.O, s.Target)
+				continue
+			case OpRefDynamic:
+				writeRef(w, v.O, nil)
+				continue
+			}
+			w.c.InlinedWrites.Add(1)
+			w.ops.InlinedWrites++
+		}
+	case model.KDoubleArray:
+		w.m.AppendFloat64Slice(o.Doubles)
+		w.ops.Elems += int64(len(o.Doubles))
+		w.ops.InlinedWrites++
+	case model.KIntArray:
+		w.m.AppendInt64Slice(o.Ints)
+		w.ops.Elems += int64(len(o.Ints))
+		w.ops.InlinedWrites++
+	case model.KByteArray:
+		w.m.AppendBytes(o.Bytes)
+		w.ops.Elems += int64(len(o.Bytes))
+		w.ops.InlinedWrites++
+	case model.KRefArray:
+		w.m.AppendInt32(int32(len(o.Refs)))
+		w.ops.InlinedWrites++
+		for _, e := range o.Refs {
+			writeRef(w, e, np.Elem)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats collects the runtime statistics that the paper reports
+// in Tables 4, 6 and 8: reused objects, local/remote RPC counts, bytes
+// allocated by deserialization ("new (MBytes)"), cycle-table lookups,
+// and serializer invocation counts, plus wire-level accounting used by
+// the virtual-time cost model.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters accumulates runtime events. All fields are safe for
+// concurrent use. A Counters value must not be copied after first use.
+type Counters struct {
+	RemoteRPCs atomic.Int64 // RMIs on objects on another node
+	LocalRPCs  atomic.Int64 // RMIs that happened to be node-local
+
+	Messages  atomic.Int64 // network messages sent
+	WireBytes atomic.Int64 // payload bytes put on the wire
+	TypeBytes atomic.Int64 // bytes of per-object type information
+	TypeOps   atomic.Int64 // type descriptor writes/parses avoided by site mode
+
+	SerializerCalls atomic.Int64 // dynamic (per-class) serializer invocations
+	InlinedWrites   atomic.Int64 // field writes inlined by call-site plans
+	IntrospectOps   atomic.Int64 // introspection steps (class mode layout walks)
+
+	CycleTables  atomic.Int64 // cycle hash-tables created
+	CycleLookups atomic.Int64 // cycle hash-table lookups/inserts
+
+	AllocObjects atomic.Int64 // objects allocated by deserialization
+	AllocBytes   atomic.Int64 // bytes allocated by deserialization
+	ReusedObjs   atomic.Int64 // objects reused instead of allocated
+	ReusedBytes  atomic.Int64 // bytes reused instead of allocated
+
+	AcksOnly atomic.Int64 // returns collapsed to a bare acknowledgment
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	RemoteRPCs, LocalRPCs                         int64
+	Messages, WireBytes, TypeBytes, TypeOps       int64
+	SerializerCalls, InlinedWrites, IntrospectOps int64
+	CycleTables, CycleLookups                     int64
+	AllocObjects, AllocBytes                      int64
+	ReusedObjs, ReusedBytes                       int64
+	AcksOnly                                      int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		RemoteRPCs:      c.RemoteRPCs.Load(),
+		LocalRPCs:       c.LocalRPCs.Load(),
+		Messages:        c.Messages.Load(),
+		WireBytes:       c.WireBytes.Load(),
+		TypeBytes:       c.TypeBytes.Load(),
+		TypeOps:         c.TypeOps.Load(),
+		SerializerCalls: c.SerializerCalls.Load(),
+		InlinedWrites:   c.InlinedWrites.Load(),
+		IntrospectOps:   c.IntrospectOps.Load(),
+		CycleTables:     c.CycleTables.Load(),
+		CycleLookups:    c.CycleLookups.Load(),
+		AllocObjects:    c.AllocObjects.Load(),
+		AllocBytes:      c.AllocBytes.Load(),
+		ReusedObjs:      c.ReusedObjs.Load(),
+		ReusedBytes:     c.ReusedBytes.Load(),
+		AcksOnly:        c.AcksOnly.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.RemoteRPCs.Store(0)
+	c.LocalRPCs.Store(0)
+	c.Messages.Store(0)
+	c.WireBytes.Store(0)
+	c.TypeBytes.Store(0)
+	c.TypeOps.Store(0)
+	c.SerializerCalls.Store(0)
+	c.InlinedWrites.Store(0)
+	c.IntrospectOps.Store(0)
+	c.CycleTables.Store(0)
+	c.CycleLookups.Store(0)
+	c.AllocObjects.Store(0)
+	c.AllocBytes.Store(0)
+	c.ReusedObjs.Store(0)
+	c.ReusedBytes.Store(0)
+	c.AcksOnly.Store(0)
+}
+
+// Sub returns s - t field-wise (statistics accumulated between two
+// snapshots).
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		RemoteRPCs:      s.RemoteRPCs - t.RemoteRPCs,
+		LocalRPCs:       s.LocalRPCs - t.LocalRPCs,
+		Messages:        s.Messages - t.Messages,
+		WireBytes:       s.WireBytes - t.WireBytes,
+		TypeBytes:       s.TypeBytes - t.TypeBytes,
+		TypeOps:         s.TypeOps - t.TypeOps,
+		SerializerCalls: s.SerializerCalls - t.SerializerCalls,
+		InlinedWrites:   s.InlinedWrites - t.InlinedWrites,
+		IntrospectOps:   s.IntrospectOps - t.IntrospectOps,
+		CycleTables:     s.CycleTables - t.CycleTables,
+		CycleLookups:    s.CycleLookups - t.CycleLookups,
+		AllocObjects:    s.AllocObjects - t.AllocObjects,
+		AllocBytes:      s.AllocBytes - t.AllocBytes,
+		ReusedObjs:      s.ReusedObjs - t.ReusedObjs,
+		ReusedBytes:     s.ReusedBytes - t.ReusedBytes,
+		AcksOnly:        s.AcksOnly - t.AcksOnly,
+	}
+}
+
+// NewMBytes reports deserialization-allocated megabytes, the paper's
+// "new (MBytes)" column.
+func (s Snapshot) NewMBytes() float64 { return float64(s.AllocBytes) / (1 << 20) }
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"rpcs(local=%d remote=%d) msgs=%d wire=%dB type=%dB serCalls=%d inlined=%d cycleTables=%d cycleLookups=%d alloc(%d objs, %.2f MB) reused=%d",
+		s.LocalRPCs, s.RemoteRPCs, s.Messages, s.WireBytes, s.TypeBytes,
+		s.SerializerCalls, s.InlinedWrites, s.CycleTables, s.CycleLookups,
+		s.AllocObjects, s.NewMBytes(), s.ReusedObjs)
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"cormi/internal/wire"
+)
+
+// TCPNetwork connects nodes over TCP with length-prefixed frames. Each
+// frame carries a 16-byte header (sender id, virtual timestamp)
+// followed by the payload. Connections are dialed lazily and cached.
+type TCPNetwork struct {
+	addrs     []string
+	listeners []net.Listener
+	eps       []*tcpEndpoint
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewTCPNetworkLocal starts an n-node TCP network entirely on the
+// loopback interface, used by tests and the distributed-mode demo.
+func NewTCPNetworkLocal(n int) (*TCPNetwork, error) {
+	tn := &TCPNetwork{
+		addrs:     make([]string, n),
+		listeners: make([]net.Listener, n),
+		eps:       make([]*tcpEndpoint, n),
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tn.Close()
+			return nil, err
+		}
+		tn.listeners[i] = l
+		tn.addrs[i] = l.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		ep := &tcpEndpoint{
+			net:   tn,
+			id:    i,
+			inbox: make(chan Packet, 256),
+			conns: make(map[int]net.Conn),
+		}
+		tn.eps[i] = ep
+		go ep.acceptLoop(tn.listeners[i])
+	}
+	return tn, nil
+}
+
+// Size returns the node count.
+func (tn *TCPNetwork) Size() int { return len(tn.addrs) }
+
+// Endpoint returns node's attachment.
+func (tn *TCPNetwork) Endpoint(node int) Endpoint { return tn.eps[node] }
+
+// Close shuts down listeners and connections.
+func (tn *TCPNetwork) Close() error {
+	tn.mu.Lock()
+	if tn.closed {
+		tn.mu.Unlock()
+		return nil
+	}
+	tn.closed = true
+	tn.mu.Unlock()
+	for _, l := range tn.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, ep := range tn.eps {
+		if ep != nil {
+			ep.close()
+		}
+	}
+	return nil
+}
+
+type tcpEndpoint struct {
+	net   *TCPNetwork
+	id    int
+	inbox chan Packet
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn // outgoing, keyed by destination
+	accept []net.Conn       // incoming
+	closed bool
+}
+
+func (e *tcpEndpoint) acceptLoop(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accept = append(e.accept, c)
+		e.mu.Unlock()
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	for {
+		frame, err := wire.ReadFrame(c)
+		if err != nil {
+			return
+		}
+		if len(frame) < 12 {
+			continue
+		}
+		p := Packet{
+			From:    int(int32(binary.LittleEndian.Uint32(frame))),
+			TS:      int64(binary.LittleEndian.Uint64(frame[4:])),
+			To:      e.id,
+			Payload: frame[12:],
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		func() {
+			defer func() { recover() }() // inbox may close concurrently
+			e.inbox <- p
+		}()
+	}
+}
+
+func (e *tcpEndpoint) Send(p Packet) error {
+	if p.To < 0 || p.To >= e.net.Size() {
+		return fmt.Errorf("transport: no node %d", p.To)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	c, ok := e.conns[p.To]
+	e.mu.Unlock()
+	if !ok {
+		var err error
+		c, err = net.Dial("tcp", e.net.addrs[p.To])
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		if prev, raced := e.conns[p.To]; raced {
+			c.Close()
+			c = prev
+		} else {
+			e.conns[p.To] = c
+		}
+		e.mu.Unlock()
+	}
+	frame := make([]byte, 12+len(p.Payload))
+	binary.LittleEndian.PutUint32(frame, uint32(e.id))
+	binary.LittleEndian.PutUint64(frame[4:], uint64(p.TS))
+	copy(frame[12:], p.Payload)
+
+	// Serialize writes per connection.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return wire.WriteFrame(c, frame)
+}
+
+func (e *tcpEndpoint) Recv() (Packet, bool) {
+	p, ok := <-e.inbox
+	return p, ok
+}
+
+func (e *tcpEndpoint) Close() error { return e.net.Close() }
+
+func (e *tcpEndpoint) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	for _, c := range e.accept {
+		c.Close()
+	}
+	close(e.inbox)
+	e.mu.Unlock()
+}

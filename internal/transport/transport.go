@@ -1,0 +1,38 @@
+// Package transport provides the cluster interconnect. Two
+// implementations exist: an in-process channel network (the default —
+// it stands in for the user-level GM layer on Myrinet, with the virtual
+// cost model supplying the timing) and a TCP network for genuinely
+// distributed runs.
+package transport
+
+import "errors"
+
+// ErrClosed is returned when sending over a closed network.
+var ErrClosed = errors.New("transport: network closed")
+
+// Packet is one message between nodes. TS is the sender's virtual send
+// timestamp in nanoseconds; the receiver syncs its clock with
+// TS + wire delay to preserve causality in the virtual-time model.
+type Packet struct {
+	From, To int
+	TS       int64
+	Payload  []byte
+}
+
+// Endpoint is a node's attachment to the network.
+type Endpoint interface {
+	// Send delivers a packet; it must be safe for concurrent use.
+	Send(p Packet) error
+	// Recv blocks for the next packet; ok is false once the endpoint
+	// is closed and drained.
+	Recv() (p Packet, ok bool)
+	// Close shuts down the endpoint's receive side.
+	Close() error
+}
+
+// Network connects a fixed set of nodes, numbered 0..Size()-1.
+type Network interface {
+	Endpoint(node int) Endpoint
+	Size() int
+	Close() error
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testNetwork(t *testing.T, mk func(n int) (Network, error)) {
+	t.Helper()
+	nw, err := mk(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if nw.Size() != 3 {
+		t.Fatalf("Size = %d", nw.Size())
+	}
+
+	// Point-to-point with timestamp.
+	e0, e1 := nw.Endpoint(0), nw.Endpoint(1)
+	if err := e0.Send(Packet{To: 1, TS: 42, Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e1.Recv()
+	if !ok || p.From != 0 || p.To != 1 || p.TS != 42 || string(p.Payload) != "hello" {
+		t.Fatalf("got %+v ok=%v", p, ok)
+	}
+
+	// Many concurrent senders to one receiver; all must arrive.
+	const per = 50
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ep := nw.Endpoint(s)
+			for i := 0; i < per; i++ {
+				if err := ep.Send(Packet{To: 2, Payload: []byte(fmt.Sprintf("%d/%d", s, i))}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	got := make(map[string]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e2 := nw.Endpoint(2)
+		for len(got) < 3*per {
+			p, ok := e2.Recv()
+			if !ok {
+				return
+			}
+			got[string(p.Payload)] = true
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timeout: received %d of %d", len(got), 3*per)
+	}
+	if len(got) != 3*per {
+		t.Fatalf("received %d distinct messages, want %d", len(got), 3*per)
+	}
+
+	// Invalid destination.
+	if err := e0.Send(Packet{To: 99}); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+}
+
+func TestChannelNetwork(t *testing.T) {
+	testNetwork(t, func(n int) (Network, error) {
+		return NewChannelNetwork(n, 16), nil
+	})
+}
+
+func TestTCPNetwork(t *testing.T) {
+	testNetwork(t, func(n int) (Network, error) {
+		return NewTCPNetworkLocal(n)
+	})
+}
+
+func TestChannelNetworkClose(t *testing.T) {
+	nw := NewChannelNetwork(2, 4)
+	e0, e1 := nw.Endpoint(0), nw.Endpoint(1)
+	if err := e0.Send(Packet{To: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	// Pending message still drains, then the channel reports closed.
+	if p, ok := e1.Recv(); !ok || string(p.Payload) != "x" {
+		t.Fatalf("drain failed: %+v %v", p, ok)
+	}
+	if _, ok := e1.Recv(); ok {
+		t.Fatal("Recv after close should report !ok")
+	}
+	if err := e0.Send(Packet{To: 1}); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := nw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPNetworkClose(t *testing.T) {
+	nw, err := NewTCPNetworkLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := nw.Endpoint(0)
+	if err := e0.Send(Packet{To: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	if err := e0.Send(Packet{To: 1}); err == nil {
+		t.Fatal("Send after close succeeded")
+	}
+	if err := nw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePayloadTCP(t *testing.T) {
+	nw, err := NewTCPNetworkLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := nw.Endpoint(0).Send(Packet{To: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := nw.Endpoint(1).Recv()
+	if !ok || len(p.Payload) != len(payload) {
+		t.Fatalf("large payload: ok=%v len=%d", ok, len(p.Payload))
+	}
+	for i := range p.Payload {
+		if p.Payload[i] != byte(i) {
+			t.Fatalf("corrupt byte at %d", i)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package wire implements the lightweight message encoding of the RMI
+// protocol: little-endian buffers with the append_int /
+// append_double_array style API that the paper's generated marshalers
+// use (Figure 13), plus length-prefixed framing for stream transports.
+//
+// The encoding carries no per-object type information by itself; the
+// serialization layer decides whether to write class IDs ("class" mode)
+// or rely on call-site knowledge ("site" mode).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortMessage is reported when a read runs past the end of the
+// message payload.
+var ErrShortMessage = errors.New("wire: read past end of message")
+
+// Message is a growable byte buffer written by marshalers and read by
+// unmarshalers. The zero value is an empty message ready for appending.
+type Message struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewMessage returns a message with the given initial capacity.
+func NewMessage(capacity int) *Message {
+	return &Message{buf: make([]byte, 0, capacity)}
+}
+
+// FromBytes wraps a received payload for reading.
+func FromBytes(b []byte) *Message {
+	return &Message{buf: b}
+}
+
+// Bytes returns the encoded payload.
+func (m *Message) Bytes() []byte { return m.buf }
+
+// Len returns the number of payload bytes.
+func (m *Message) Len() int { return len(m.buf) }
+
+// Remaining returns the number of unread bytes.
+func (m *Message) Remaining() int { return len(m.buf) - m.pos }
+
+// Err returns the sticky read error, if any read ran short.
+func (m *Message) Err() error { return m.err }
+
+// Reset clears the message for reuse.
+func (m *Message) Reset() {
+	m.buf = m.buf[:0]
+	m.pos = 0
+	m.err = nil
+}
+
+// Rewind moves the read cursor back to the start of the payload.
+func (m *Message) Rewind() {
+	m.pos = 0
+	m.err = nil
+}
+
+// --- appends -------------------------------------------------------
+
+// AppendByte appends a single byte.
+func (m *Message) AppendByte(b byte) { m.buf = append(m.buf, b) }
+
+// AppendBool appends a boolean as one byte.
+func (m *Message) AppendBool(b bool) {
+	if b {
+		m.buf = append(m.buf, 1)
+	} else {
+		m.buf = append(m.buf, 0)
+	}
+}
+
+// AppendInt32 appends a little-endian int32.
+func (m *Message) AppendInt32(v int32) {
+	m.buf = binary.LittleEndian.AppendUint32(m.buf, uint32(v))
+}
+
+// AppendInt64 appends a little-endian int64.
+func (m *Message) AppendInt64(v int64) {
+	m.buf = binary.LittleEndian.AppendUint64(m.buf, uint64(v))
+}
+
+// AppendFloat64 appends an IEEE-754 double.
+func (m *Message) AppendFloat64(v float64) {
+	m.buf = binary.LittleEndian.AppendUint64(m.buf, math.Float64bits(v))
+}
+
+// AppendString appends a length-prefixed UTF-8 string.
+func (m *Message) AppendString(s string) {
+	m.AppendInt32(int32(len(s)))
+	m.buf = append(m.buf, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func (m *Message) AppendBytes(b []byte) {
+	m.AppendInt32(int32(len(b)))
+	m.buf = append(m.buf, b...)
+}
+
+// AppendFloat64Slice appends a length-prefixed double array, the bulk
+// transfer primitive of the paper's array marshaler
+// (append_double_array in Figure 13).
+func (m *Message) AppendFloat64Slice(vs []float64) {
+	m.AppendInt32(int32(len(vs)))
+	for _, v := range vs {
+		m.buf = binary.LittleEndian.AppendUint64(m.buf, math.Float64bits(v))
+	}
+}
+
+// AppendInt64Slice appends a length-prefixed int64 array.
+func (m *Message) AppendInt64Slice(vs []int64) {
+	m.AppendInt32(int32(len(vs)))
+	for _, v := range vs {
+		m.buf = binary.LittleEndian.AppendUint64(m.buf, uint64(v))
+	}
+}
+
+// --- reads ---------------------------------------------------------
+
+func (m *Message) need(n int) bool {
+	if m.err != nil {
+		return false
+	}
+	if m.pos+n > len(m.buf) {
+		m.err = fmt.Errorf("%w: need %d bytes at offset %d of %d",
+			ErrShortMessage, n, m.pos, len(m.buf))
+		return false
+	}
+	return true
+}
+
+// ReadU8 reads one byte.
+func (m *Message) ReadU8() byte {
+	if !m.need(1) {
+		return 0
+	}
+	b := m.buf[m.pos]
+	m.pos++
+	return b
+}
+
+// ReadBool reads one boolean byte.
+func (m *Message) ReadBool() bool { return m.ReadU8() != 0 }
+
+// ReadInt32 reads a little-endian int32.
+func (m *Message) ReadInt32() int32 {
+	if !m.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(m.buf[m.pos:])
+	m.pos += 4
+	return int32(v)
+}
+
+// ReadInt64 reads a little-endian int64.
+func (m *Message) ReadInt64() int64 {
+	if !m.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(m.buf[m.pos:])
+	m.pos += 8
+	return int64(v)
+}
+
+// ReadFloat64 reads an IEEE-754 double.
+func (m *Message) ReadFloat64() float64 {
+	if !m.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(m.buf[m.pos:])
+	m.pos += 8
+	return math.Float64frombits(v)
+}
+
+// ReadString reads a length-prefixed string.
+func (m *Message) ReadString() string {
+	n := int(m.ReadInt32())
+	if n < 0 || !m.need(n) {
+		if m.err == nil {
+			m.err = fmt.Errorf("%w: negative string length %d", ErrShortMessage, n)
+		}
+		return ""
+	}
+	s := string(m.buf[m.pos : m.pos+n])
+	m.pos += n
+	return s
+}
+
+// ReadBytes reads a length-prefixed byte slice (copied out of the
+// message buffer).
+func (m *Message) ReadBytes() []byte {
+	n := int(m.ReadInt32())
+	if n < 0 || !m.need(n) {
+		if m.err == nil {
+			m.err = fmt.Errorf("%w: negative bytes length %d", ErrShortMessage, n)
+		}
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, m.buf[m.pos:])
+	m.pos += n
+	return b
+}
+
+// ReadFloat64SliceInto reads a length-prefixed double array into dst if
+// dst has the right length (the reuse path of Figure 13); otherwise it
+// allocates. It returns the slice holding the data and whether dst was
+// reused.
+func (m *Message) ReadFloat64SliceInto(dst []float64) (vs []float64, reused bool) {
+	n := int(m.ReadInt32())
+	if n < 0 || !m.need(8*n) {
+		if m.err == nil {
+			m.err = fmt.Errorf("%w: bad double[] length %d", ErrShortMessage, n)
+		}
+		return nil, false
+	}
+	if len(dst) == n {
+		vs, reused = dst, true
+	} else {
+		vs = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.buf[m.pos:]))
+		m.pos += 8
+	}
+	return vs, reused
+}
+
+// ReadFloat64Slice reads a length-prefixed double array.
+func (m *Message) ReadFloat64Slice() []float64 {
+	vs, _ := m.ReadFloat64SliceInto(nil)
+	return vs
+}
+
+// ReadInt64SliceInto mirrors ReadFloat64SliceInto for int64 arrays.
+func (m *Message) ReadInt64SliceInto(dst []int64) (vs []int64, reused bool) {
+	n := int(m.ReadInt32())
+	if n < 0 || !m.need(8*n) {
+		if m.err == nil {
+			m.err = fmt.Errorf("%w: bad int[] length %d", ErrShortMessage, n)
+		}
+		return nil, false
+	}
+	if len(dst) == n {
+		vs, reused = dst, true
+	} else {
+		vs = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		vs[i] = int64(binary.LittleEndian.Uint64(m.buf[m.pos:]))
+		m.pos += 8
+	}
+	return vs, reused
+}
+
+// ReadInt64Slice reads a length-prefixed int64 array.
+func (m *Message) ReadInt64Slice() []int64 {
+	vs, _ := m.ReadInt64SliceInto(nil)
+	return vs
+}
