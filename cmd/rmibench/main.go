@@ -6,6 +6,9 @@
 //	rmibench               # all tables at test scale
 //	rmibench -scale paper  # all tables at paper-like scale (slow)
 //	rmibench -table 3      # only Table 3 (implies its stats twin)
+//	rmibench -faults       # chaos mode: run the workloads over a lossy
+//	                       # network and verify exactly-once completion
+//	rmibench -faults -drop 0.1 -dup 0.05 -seed 7   # custom fault mix
 package main
 
 import (
@@ -20,7 +23,38 @@ func main() {
 	scaleName := flag.String("scale", "test", "workload scale: test | paper")
 	table := flag.Int("table", 0, "single table to regenerate (1-8); 0 = all")
 	scaling := flag.Bool("scaling", false, "run the multi-CPU scaling extension instead of the paper tables")
+	faults := flag.Bool("faults", false, "chaos mode: run LU and the micro benchmarks over a faulty network")
+	drop := flag.Float64("drop", -1, "chaos: packet drop probability (default from spec)")
+	dup := flag.Float64("dup", -1, "chaos: packet duplication probability")
+	reorder := flag.Float64("reorder", -1, "chaos: packet reordering probability")
+	corrupt := flag.Float64("corrupt", -1, "chaos: payload corruption probability")
+	seed := flag.Int64("seed", 42, "chaos: fault injection seed")
 	flag.Parse()
+
+	if *faults {
+		spec := harness.DefaultChaosSpec(*seed)
+		if *drop >= 0 {
+			spec.Faults.Drop = *drop
+		}
+		if *dup >= 0 {
+			spec.Faults.Dup = *dup
+		}
+		if *reorder >= 0 {
+			spec.Faults.Reorder = *reorder
+		}
+		if *corrupt >= 0 {
+			spec.Faults.Corrupt = *corrupt
+		}
+		report, err := harness.Chaos(harness.TestScale(), spec)
+		if report != nil {
+			fmt.Println(report.Format())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: chaos run failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scaling {
 		n, bs := 256, 32

@@ -5,15 +5,22 @@
 // statistics. It is the deployment-shaped counterpart of the
 // benchmarks: everything crosses a real network stack.
 //
+// With -drop/-dup/-reorder/-corrupt the TCP network is wrapped in the
+// seeded fault injector and calls run under a deadline/retry policy —
+// a live demonstration that recovery works over a real network stack,
+// not just the in-process transport.
+//
 // Usage:
 //
 //	rminode [-nodes 2] [-sends 50]
+//	rminode -drop 0.1 -dup 0.05        # chaos over real TCP
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cormi/internal/apps/appkit"
 	"cormi/internal/core"
@@ -41,14 +48,35 @@ class Main {
 func main() {
 	nodes := flag.Int("nodes", 2, "cluster size")
 	sends := flag.Int("sends", 50, "RMIs per optimization level")
+	drop := flag.Float64("drop", 0, "packet drop probability")
+	dup := flag.Float64("dup", 0, "packet duplication probability")
+	reorder := flag.Float64("reorder", 0, "packet reordering probability")
+	corrupt := flag.Float64("corrupt", 0, "payload corruption probability")
+	seed := flag.Int64("seed", 42, "fault injection seed")
 	flag.Parse()
+
+	faultCfg := transport.FaultConfig{
+		Seed: *seed,
+		FaultRates: transport.FaultRates{
+			Drop: *drop, Dup: *dup, Reorder: *reorder, Corrupt: *corrupt,
+		},
+	}
 
 	for _, level := range rmi.AllLevels {
 		nw, err := transport.NewTCPNetworkLocal(*nodes)
 		if err != nil {
 			fail(err)
 		}
-		cluster := rmi.New(*nodes, rmi.WithNetwork(nw))
+		opts := []rmi.Option{rmi.WithNetwork(nw)}
+		if faultCfg.Enabled() {
+			opts = append(opts,
+				rmi.WithFaults(faultCfg),
+				rmi.WithCallPolicy(rmi.CallPolicy{
+					Timeout: 200 * time.Millisecond, Retries: 12,
+					Backoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+				}))
+		}
+		cluster := rmi.New(*nodes, opts...)
 		res, err := core.CompileInto(src, cluster.Registry)
 		if err != nil {
 			fail(err)
@@ -92,8 +120,12 @@ func main() {
 			}
 		}
 		s := cluster.Counters.Snapshot()
-		fmt.Printf("%-22s %d RMIs over TCP  wire=%6d B  serCalls=%4d  cycleLookups=%4d  reused=%4d\n",
+		fmt.Printf("%-22s %d RMIs over TCP  wire=%6d B  serCalls=%4d  cycleLookups=%4d  reused=%4d",
 			level, *sends, s.WireBytes, s.SerializerCalls, s.CycleLookups, s.ReusedObjs)
+		if faultCfg.Enabled() {
+			fmt.Printf("  retries=%d dup-suppr=%d corrupt-drop=%d", s.Retries, s.DupSuppressed, s.CorruptDropped)
+		}
+		fmt.Println()
 		cluster.Close()
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"cormi/internal/interp"
 	"cormi/internal/model"
 	"cormi/internal/rmi"
+	"cormi/internal/transport"
 )
 
 // OptLevel names one of the paper's five optimization configurations.
@@ -67,6 +68,16 @@ type (
 	CallSite = rmi.CallSite
 	// Option configures NewCluster.
 	Option = rmi.Option
+	// CallPolicy is a per-call deadline/retry policy.
+	CallPolicy = rmi.CallPolicy
+
+	// FaultConfig configures seeded fault injection (chaos mode).
+	FaultConfig = transport.FaultConfig
+	// FaultRates holds per-link fault probabilities.
+	FaultRates = transport.FaultRates
+	// FaultyNetwork is a fault-injecting network decorator; obtain the
+	// cluster's instance via Cluster.Network() to partition/heal links.
+	FaultyNetwork = transport.FaultyNetwork
 
 	// Value is a runtime value (primitive, string or object graph).
 	Value = model.Value
@@ -98,9 +109,23 @@ var (
 
 // Cluster options.
 var (
-	WithNetwork   = rmi.WithNetwork
-	WithCostModel = rmi.WithCostModel
-	WithRegistry  = rmi.WithRegistry
+	WithNetwork    = rmi.WithNetwork
+	WithCostModel  = rmi.WithCostModel
+	WithRegistry   = rmi.WithRegistry
+	WithCallPolicy = rmi.WithCallPolicy
+	WithFaults     = rmi.WithFaults
+	WithDedupCap   = rmi.WithDedupCap
+)
+
+// Failure sentinels of the fault-tolerant call path; test with
+// errors.Is.
+var (
+	// ErrTimeout: the call's deadline and retry budget were exhausted.
+	ErrTimeout = rmi.ErrTimeout
+	// ErrPartitioned: the deadline expired across a known partition.
+	ErrPartitioned = rmi.ErrPartitioned
+	// ErrClusterClosed: the cluster shut down while the call was pending.
+	ErrClusterClosed = rmi.ErrClusterClosed
 )
 
 // NewCluster starts an n-node cluster (in-process network by default).

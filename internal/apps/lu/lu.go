@@ -95,13 +95,15 @@ type sites struct {
 
 // Run factors an n×n matrix with block size bs over `nodes` machines
 // at the given optimization level (the paper uses n=1024, 2 CPUs).
-func Run(level rmi.OptLevel, n, bs, nodes int) (Outcome, error) {
+// Extra cluster options (fault injection, call policies) apply to the
+// run.
+func Run(level rmi.OptLevel, n, bs, nodes int, clusterOpts ...rmi.Option) (Outcome, error) {
 	if n%bs != 0 {
 		return Outcome{}, fmt.Errorf("lu: n=%d not divisible by bs=%d", n, bs)
 	}
 	B := n / bs
 
-	cluster := rmi.New(nodes)
+	cluster := rmi.New(nodes, clusterOpts...)
 	defer cluster.Close()
 	res, err := core.CompileInto(Src, cluster.Registry)
 	if err != nil {
@@ -166,7 +168,11 @@ func Run(level rmi.OptLevel, n, bs, nodes int) (Outcome, error) {
 	}
 	barRef := cluster.Node(0).Export(rmi.NewBarrierService(nodes))
 
-	// Workers: one driver goroutine per machine.
+	// Workers: one driver goroutine per machine. On the first worker
+	// failure the cluster is closed immediately: peers blocked in a
+	// barrier or mid-invoke are unblocked (ErrClusterClosed / barrier
+	// shutdown) instead of waiting forever for a party that already
+	// gave up — the failure path under heavy loss must terminate too.
 	var wg sync.WaitGroup
 	errs := make(chan error, nodes)
 	for w := 0; w < nodes; w++ {
@@ -178,10 +184,16 @@ func Run(level rmi.OptLevel, n, bs, nodes int) (Outcome, error) {
 			}
 		}(w)
 	}
-	wg.Wait()
-	close(errs)
+	go func() { wg.Wait(); close(errs) }()
+	var firstErr error
 	for err := range errs {
-		return Outcome{}, err
+		if firstErr == nil {
+			firstErr = err
+			cluster.Close()
+		}
+	}
+	if firstErr != nil {
+		return Outcome{}, firstErr
 	}
 
 	// Gather: every non-0 node flushes its blocks to machine 0, which

@@ -1,10 +1,13 @@
 package lu
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"cormi/internal/core"
 	"cormi/internal/rmi"
+	"cormi/internal/transport"
 )
 
 func TestSequentialBlockMathAgreesWithScalarLU(t *testing.T) {
@@ -130,5 +133,32 @@ func TestLUFourNodes(t *testing.T) {
 func TestBadBlockSize(t *testing.T) {
 	if _, err := Run(rmi.LevelClass, 50, 16, 2); err == nil {
 		t.Fatal("n not divisible by bs accepted")
+	}
+}
+
+// TestLUTotalLossTerminates: under a link that delivers nothing, the
+// run must fail with ErrTimeout in bounded time — the early worker
+// waiting in the barrier is unblocked by the fail-fast cluster close,
+// not left waiting forever for a party that already gave up.
+func TestLUTotalLossTerminates(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(rmi.LevelSite, 64, 16, 2,
+			rmi.WithFaults(transport.FaultConfig{
+				Seed:       11,
+				FaultRates: transport.FaultRates{Drop: 1},
+			}),
+			rmi.WithCallPolicy(rmi.CallPolicy{
+				Timeout: 10 * time.Millisecond, Retries: 2, Backoff: time.Millisecond,
+			}))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, rmi.ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("LU hung under total packet loss")
 	}
 }

@@ -51,31 +51,36 @@ remote class ArrayBench {
 }
 `
 
-// LinkedListOutcome extends the run result with a correctness witness.
+// LinkedListOutcome extends the run result with correctness witnesses.
 type LinkedListOutcome struct {
 	appkit.RunResult
 	// ElementsSeen is the list length observed by the receiver on the
 	// last invocation.
 	ElementsSeen int64
+	// Executions counts how many times the user method body actually
+	// ran; under fault injection it must equal iters exactly — a
+	// retransmitted call that re-executed would inflate it.
+	Executions int64
 }
 
 // RunLinkedList transmits a linked list of elems nodes iters times
 // from node 0 to node 1 under the given optimization level (Table 1
-// uses elems=100).
-func RunLinkedList(level rmi.OptLevel, elems, iters int) (LinkedListOutcome, error) {
-	return runLinkedList(level, elems, iters, core.Options{})
+// uses elems=100). Extra cluster options (fault injection, call
+// policies) apply to the run.
+func RunLinkedList(level rmi.OptLevel, elems, iters int, clusterOpts ...rmi.Option) (LinkedListOutcome, error) {
+	return runLinkedList(level, elems, iters, core.Options{}, clusterOpts...)
 }
 
 // RunLinkedListRefined is RunLinkedList with the linear-list
 // refinement enabled — the paper's future-work fix for the list being
 // conservatively flagged cyclic. With it, the '+ cycle' rows of
 // Table 1 gain over their bases instead of matching them.
-func RunLinkedListRefined(level rmi.OptLevel, elems, iters int) (LinkedListOutcome, error) {
-	return runLinkedList(level, elems, iters, core.Options{LinearListRefinement: true})
+func RunLinkedListRefined(level rmi.OptLevel, elems, iters int, clusterOpts ...rmi.Option) (LinkedListOutcome, error) {
+	return runLinkedList(level, elems, iters, core.Options{LinearListRefinement: true}, clusterOpts...)
 }
 
-func runLinkedList(level rmi.OptLevel, elems, iters int, opts core.Options) (LinkedListOutcome, error) {
-	cluster := rmi.New(2)
+func runLinkedList(level rmi.OptLevel, elems, iters int, opts core.Options, clusterOpts ...rmi.Option) (LinkedListOutcome, error) {
+	cluster := rmi.New(2, clusterOpts...)
 	defer cluster.Close()
 
 	res, err := core.CompileOpts(LinkedListSrc, cluster.Registry, opts)
@@ -91,9 +96,10 @@ func runLinkedList(level rmi.OptLevel, elems, iters int, opts core.Options) (Lin
 		return LinkedListOutcome{}, err
 	}
 
-	var seen atomic.Int64
+	var seen, execs atomic.Int64
 	svc := &rmi.Service{Name: "Foo", Methods: map[string]rmi.Method{
 		"send": func(call *rmi.Call, args []model.Value) []model.Value {
+			execs.Add(1)
 			var n int64
 			for o := args[0].O; o != nil; o = o.Fields[0].O {
 				n++
@@ -121,21 +127,29 @@ func runLinkedList(level rmi.OptLevel, elems, iters int, opts core.Options) (Lin
 			return LinkedListOutcome{}, err
 		}
 	}
-	return LinkedListOutcome{RunResult: appkit.Collect(cluster), ElementsSeen: seen.Load()}, nil
+	return LinkedListOutcome{
+		RunResult:    appkit.Collect(cluster),
+		ElementsSeen: seen.Load(),
+		Executions:   execs.Load(),
+	}, nil
 }
 
-// ArrayOutcome extends the run result with a correctness witness.
+// ArrayOutcome extends the run result with correctness witnesses.
 type ArrayOutcome struct {
 	appkit.RunResult
 	// SumSeen is the element sum observed by the receiver on the last
 	// invocation.
 	SumSeen float64
+	// Executions counts user-method body executions (see
+	// LinkedListOutcome.Executions).
+	Executions int64
 }
 
 // RunArray transmits a size×size double array iters times from node 0
-// to node 1 (Table 2 uses size=16).
-func RunArray(level rmi.OptLevel, size, iters int) (ArrayOutcome, error) {
-	cluster := rmi.New(2)
+// to node 1 (Table 2 uses size=16). Extra cluster options (fault
+// injection, call policies) apply to the run.
+func RunArray(level rmi.OptLevel, size, iters int, clusterOpts ...rmi.Option) (ArrayOutcome, error) {
+	cluster := rmi.New(2, clusterOpts...)
 	defer cluster.Close()
 
 	res, err := core.CompileInto(ArrayBenchSrc, cluster.Registry)
@@ -152,8 +166,10 @@ func RunArray(level rmi.OptLevel, size, iters int) (ArrayOutcome, error) {
 	}
 
 	sum := make(chan float64, 1)
+	var execs atomic.Int64
 	svc := &rmi.Service{Name: "ArrayBench", Methods: map[string]rmi.Method{
 		"send": func(call *rmi.Call, args []model.Value) []model.Value {
+			execs.Add(1)
 			var s float64
 			for _, row := range args[0].O.Refs {
 				for _, v := range row.Doubles {
@@ -187,7 +203,7 @@ func RunArray(level rmi.OptLevel, size, iters int) (ArrayOutcome, error) {
 			return ArrayOutcome{}, err
 		}
 	}
-	out := ArrayOutcome{RunResult: appkit.Collect(cluster)}
+	out := ArrayOutcome{RunResult: appkit.Collect(cluster), Executions: execs.Load()}
 	select {
 	case out.SumSeen = <-sum:
 	default:

@@ -1,0 +1,160 @@
+// Chaos mode: run the paper's workloads to completion over a lossy,
+// duplicating, reordering, corrupting interconnect and verify that the
+// fault-tolerance layer (checksums, deadlines, retries, callee-side
+// dedup) preserves exactly-once method execution and correct results at
+// every optimization level.
+
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cormi/internal/apps/lu"
+	"cormi/internal/apps/micro"
+	"cormi/internal/rmi"
+	"cormi/internal/stats"
+	"cormi/internal/transport"
+)
+
+// ChaosSpec bundles the injected faults and the recovery policy for a
+// chaos run.
+type ChaosSpec struct {
+	Faults transport.FaultConfig
+	Policy rmi.CallPolicy
+}
+
+// DefaultChaosSpec returns the fault mix used by the chaos test and
+// `rmibench -faults`: 5% drop, 3% duplication, 5% reordering, 2%
+// corruption, up to 20 µs of extra virtual latency, recovered by a
+// 50 ms per-attempt deadline with 12 retransmits.
+func DefaultChaosSpec(seed int64) ChaosSpec {
+	return ChaosSpec{
+		Faults: transport.FaultConfig{
+			Seed: seed,
+			FaultRates: transport.FaultRates{
+				Drop:    0.05,
+				Dup:     0.03,
+				Reorder: 0.05,
+				Corrupt: 0.02,
+				DelayNS: 20_000,
+			},
+		},
+		Policy: rmi.CallPolicy{
+			Timeout:    50 * time.Millisecond,
+			Retries:    12,
+			Backoff:    time.Millisecond,
+			MaxBackoff: 8 * time.Millisecond,
+		},
+	}
+}
+
+// ChaosRow is one (workload, level) outcome under fault injection.
+type ChaosRow struct {
+	App     string
+	Level   rmi.OptLevel
+	Seconds float64
+	Stats   stats.Snapshot
+	Err     error
+}
+
+// ChaosReport collects a chaos run across workloads and levels.
+type ChaosReport struct {
+	Spec ChaosSpec
+	Rows []ChaosRow
+}
+
+// Failed returns the first row-level error, if any.
+func (r *ChaosReport) Failed() error {
+	for _, row := range r.Rows {
+		if row.Err != nil {
+			return fmt.Errorf("%s @ %s: %w", row.App, row.Level, row.Err)
+		}
+	}
+	return nil
+}
+
+// Format renders the report: per row the virtual makespan plus the
+// recovery counters the fault layer exposes.
+func (r *ChaosReport) Format() string {
+	var b strings.Builder
+	f := r.Spec.Faults
+	fmt.Fprintf(&b, "Chaos run: drop=%.0f%% dup=%.0f%% reorder=%.0f%% corrupt=%.0f%% delay≤%dns seed=%d (timeout=%v, %d retries)\n",
+		f.Drop*100, f.Dup*100, f.Reorder*100, f.Corrupt*100, f.DelayNS, f.Seed,
+		r.Spec.Policy.Timeout, r.Spec.Policy.Retries)
+	fmt.Fprintf(&b, "%-12s %-22s %10s %8s %9s %12s %13s %7s\n",
+		"app", "optimization", "seconds", "retries", "timeouts", "dup-suppr.", "corrupt-drop", "result")
+	for _, row := range r.Rows {
+		result := "ok"
+		if row.Err != nil {
+			result = "FAIL: " + row.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-12s %-22s %10.4f %8d %9d %12d %13d %7s\n",
+			row.App, row.Level, row.Seconds,
+			row.Stats.Retries, row.Stats.Timeouts, row.Stats.DupSuppressed, row.Stats.CorruptDropped,
+			result)
+	}
+	return b.String()
+}
+
+// chaosOpts converts a spec into cluster options for one matrix row.
+// Each row gets a distinct derived seed: fault rolls depend only on
+// (seed, link, packet index), so rows with identical traffic patterns
+// would otherwise replay the exact same fault sequence and the matrix
+// would sample far fewer independent faults than its packet volume
+// suggests.
+func chaosOpts(spec ChaosSpec, row int) []rmi.Option {
+	spec.Faults.Seed += int64(row) * 7919
+	return []rmi.Option{rmi.WithFaults(spec.Faults), rmi.WithCallPolicy(spec.Policy)}
+}
+
+// Chaos runs the LU kernel and both micro benchmarks over a faulty
+// network at every optimization level. Each row verifies its workload's
+// correctness witness — LU's residual, the micro benchmarks' receiver
+// observations — and that no user method body was re-executed despite
+// drops, duplicates and retransmits.
+func Chaos(s Scale, spec ChaosSpec) (*ChaosReport, error) {
+	report := &ChaosReport{Spec: spec}
+	row := 0
+	nextOpts := func() []rmi.Option {
+		o := chaosOpts(spec, row)
+		row++
+		return o
+	}
+	for _, level := range rmi.AllLevels {
+		out, err := micro.RunLinkedList(level, s.ListElems, s.ListIters, nextOpts()...)
+		if err == nil {
+			err = verifyExactlyOnce("LinkedList", out.Executions, int64(s.ListIters))
+			if err == nil && out.ElementsSeen != int64(s.ListElems) {
+				err = fmt.Errorf("receiver saw %d elements, want %d", out.ElementsSeen, s.ListElems)
+			}
+		}
+		report.Rows = append(report.Rows, ChaosRow{
+			App: "LinkedList", Level: level, Seconds: out.Seconds, Stats: out.Stats, Err: err})
+	}
+	for _, level := range rmi.AllLevels {
+		out, err := micro.RunArray(level, s.ArraySize, s.ArrayIters, nextOpts()...)
+		if err == nil {
+			err = verifyExactlyOnce("Array", out.Executions, int64(s.ArrayIters))
+		}
+		report.Rows = append(report.Rows, ChaosRow{
+			App: "Array", Level: level, Seconds: out.Seconds, Stats: out.Stats, Err: err})
+	}
+	for _, level := range rmi.AllLevels {
+		out, err := lu.Run(level, s.LUN, s.LUBS, s.Nodes, nextOpts()...)
+		if err == nil && out.MaxResidual > 1e-6 {
+			err = fmt.Errorf("LU residual %g under faults", out.MaxResidual)
+		}
+		report.Rows = append(report.Rows, ChaosRow{
+			App: "LU", Level: level, Seconds: out.Seconds, Stats: out.Stats, Err: err})
+	}
+	return report, report.Failed()
+}
+
+func verifyExactlyOnce(app string, got, want int64) error {
+	if got != want {
+		return fmt.Errorf("%s method body executed %d times, want exactly %d", app, got, want)
+	}
+	return nil
+}

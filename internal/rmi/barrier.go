@@ -17,14 +17,20 @@ const BarrierMethod = "await"
 // Virtual time: every party's reply is floored (Call.WaitUntil) at the
 // latest virtual arrival of its generation, so all waiters leave the
 // barrier at the same virtual instant without being charged CPU time.
+//
+// An early party also waits on cluster shutdown: if the cluster closes
+// before the generation completes (a peer timed out across a lossy
+// link, the run was abandoned), the waiter panics — surfaced to its
+// caller as a remote exception — instead of blocking forever on
+// parties that will never arrive.
 func NewBarrierService(parties int) *Service {
 	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
 	gen := 0
 	type genState struct {
 		release int64 // latest virtual arrival
 		arrived int
-		pending int // parties that still need to read release
+		pending int           // parties that still need to read release
+		done    chan struct{} // closed when the generation releases
 	}
 	states := map[int]*genState{}
 	return &Service{
@@ -32,11 +38,10 @@ func NewBarrierService(parties int) *Service {
 		Methods: map[string]Method{
 			BarrierMethod: func(call *Call, args []model.Value) []model.Value {
 				mu.Lock()
-				defer mu.Unlock()
 				g := gen
 				st := states[g]
 				if st == nil {
-					st = &genState{}
+					st = &genState{done: make(chan struct{})}
 					states[g] = st
 				}
 				if call.Start() > st.release {
@@ -46,14 +51,23 @@ func NewBarrierService(parties int) *Service {
 				st.pending++
 				if st.arrived == parties {
 					gen++
-					cond.Broadcast()
-				} else {
-					for g == gen {
-						cond.Wait()
-					}
+					close(st.done)
 				}
-				// Every party leaves at the latest arrival: a
-				// condition wait, not CPU time.
+				mu.Unlock()
+
+				select {
+				case <-st.done:
+				case <-call.Node.Cluster().Done():
+					mu.Lock()
+					st.pending--
+					mu.Unlock()
+					panic("barrier: cluster closed before all parties arrived")
+				}
+
+				mu.Lock()
+				defer mu.Unlock()
+				// Every party leaves at the latest arrival: a condition
+				// wait, not CPU time. release is final once done closed.
 				call.WaitUntil(st.release)
 				st.pending--
 				if st.pending == 0 {

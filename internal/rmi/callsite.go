@@ -2,6 +2,8 @@ package rmi
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"cormi/internal/model"
 	"cormi/internal/serial"
@@ -112,14 +114,21 @@ const (
 	replyError  = 2
 )
 
-// Invoke performs the RMI from caller node n on the object ref.
-// Node-local calls deep-clone arguments and results instead of going
-// over the wire (Figure 1's cloning rule).
+// Invoke performs the RMI from caller node n on the object ref under
+// the cluster's default call policy. Node-local calls deep-clone
+// arguments and results instead of going over the wire (Figure 1's
+// cloning rule).
 func (cs *CallSite) Invoke(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
+	return cs.InvokeWithPolicy(n, ref, args, n.cluster.policy)
+}
+
+// InvokeWithPolicy is Invoke with a per-call deadline/retry policy
+// overriding the cluster default.
+func (cs *CallSite) InvokeWithPolicy(n *Node, ref Ref, args []model.Value, pol CallPolicy) ([]model.Value, error) {
 	if ref.Node == n.ID {
 		return cs.invokeLocal(n, ref, args)
 	}
-	return cs.invokeRemote(n, ref, args)
+	return cs.invokeRemote(n, ref, args, pol)
 }
 
 // invokeLocal handles the case where the remote object happens to live
@@ -146,11 +155,25 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 	if err != nil {
 		return nil, err
 	}
-	rets := method(&Call{Node: n, From: n.ID, Site: cs}, clonedArgs)
+	// Same panic semantics as the remote path: a panicking method
+	// becomes an error carrying the stack, regardless of placement.
+	var rets []model.Value
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("rmi: method panicked on node %d: %v\n%s", n.ID, r, debug.Stack())
+			}
+		}()
+		rets = method(&Call{Node: n, From: n.ID, Site: cs}, clonedArgs)
+		return nil
+	}()
 	// As on the remote path, the argument graphs go back into the
 	// cache only once the method is done with them.
 	if cs.cfg.Reuse {
 		cs.argCaches[n.ID].Put(argRoots)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if cs.ignoreRet && cs.cfg.Mode == serial.ModeSite {
 		// §3.1 applies to local calls too: a call site that ignores
@@ -194,7 +217,7 @@ func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []
 	return out, roots, nil
 }
 
-func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
+func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallPolicy) ([]model.Value, error) {
 	c := n.cluster
 	c.Counters.RemoteRPCs.Add(1)
 
@@ -221,13 +244,59 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value) ([]model.
 		n.pendMu.Unlock()
 	}()
 
-	c.Counters.Messages.Add(1)
-	c.Counters.WireBytes.Add(int64(m.Len()))
-	if err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: m.Bytes()}); err != nil {
-		return nil, fmt.Errorf("rmi: send: %w", err)
-	}
+	// The sealed frame is marshaled once; retransmits resend the same
+	// bytes under the same sequence number, which is what lets the
+	// callee recognize and deduplicate them.
+	wireLen := int64(m.Len())
+	sealed := wire.Seal(m.Bytes())
+	attempts := pol.attempts()
+	var rep reply
+	for attempt := 1; ; attempt++ {
+		c.Counters.Messages.Add(1)
+		c.Counters.WireBytes.Add(wireLen)
+		if err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: sealed}); err != nil {
+			return nil, fmt.Errorf("rmi: send: %w", err)
+		}
 
-	rep := <-ch
+		if pol.Timeout <= 0 {
+			// No deadline: wait for the reply or cluster shutdown —
+			// never block unconditionally.
+			select {
+			case rep = <-ch:
+			case <-c.done:
+				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
+			}
+		} else {
+			timer := time.NewTimer(pol.Timeout)
+			select {
+			case rep = <-ch:
+				timer.Stop()
+			case <-c.done:
+				timer.Stop()
+				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
+			case <-timer.C:
+				if attempt < attempts {
+					if d := pol.nextBackoff(attempt); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-c.done:
+							return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
+						}
+					}
+					c.Counters.Retries.Add(1)
+					continue
+				}
+				c.Counters.Timeouts.Add(1)
+				if pr, ok := c.net.(transport.PartitionReporter); ok &&
+					(pr.Partitioned(n.ID, ref.Node) || pr.Partitioned(ref.Node, n.ID)) {
+					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, ref.Node, ErrPartitioned)
+				}
+				return nil, fmt.Errorf("rmi: %s to node %d after %d attempts of %v: %w",
+					cs.Name, ref.Node, attempts, pol.Timeout, ErrTimeout)
+			}
+		}
+		break
+	}
 	if rep.err != nil {
 		return nil, rep.err
 	}

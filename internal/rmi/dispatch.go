@@ -2,6 +2,7 @@ package rmi
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"cormi/internal/model"
@@ -10,11 +11,13 @@ import (
 	"cormi/internal/wire"
 )
 
-// recvLoop drains the node's network endpoint. Incoming calls are
+// recvLoop drains the node's network endpoint. Every frame is checksum
+// verified first — corrupted frames are dropped and recovered by the
+// sender's retransmit, never deserialized. Incoming calls are then
 // deserialized here — under the node's receive lock, reproducing the
-// paper's "only one thread can drain the network" rule — and then the
-// user method runs in a fresh goroutine. Replies are routed to the
-// pending invocation.
+// paper's "only one thread can drain the network" rule — and the user
+// method runs in a fresh goroutine. Replies are routed to the pending
+// invocation.
 func (n *Node) recvLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -22,6 +25,12 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 		if !ok {
 			return
 		}
+		payload, err := wire.Unseal(p.Payload)
+		if err != nil {
+			n.cluster.Counters.CorruptDropped.Add(1)
+			continue
+		}
+		p.Payload = payload
 		m := wire.FromBytes(p.Payload)
 		switch t := m.ReadU8(); t {
 		case msgCall:
@@ -30,8 +39,12 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			n.recvMu.Unlock()
 		case msgReply:
 			seq := m.ReadInt64()
-			arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
 			flag := m.ReadU8()
+			if m.Err() != nil {
+				n.cluster.Counters.CorruptDropped.Add(1)
+				continue
+			}
+			arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
 			payload := p.Payload[1+8+1:]
 			n.pendMu.Lock()
 			ch, ok := n.pending[seq]
@@ -41,6 +54,9 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			n.pendMu.Unlock()
 			if ok {
 				ch <- reply{flag: flag, payload: payload, arrival: arrival}
+			} else {
+				// Duplicate or post-timeout reply; the call is gone.
+				n.cluster.Counters.StaleReplies.Add(1)
 			}
 		}
 	}
@@ -66,6 +82,23 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()))
 		return
 	}
+
+	// Redelivery check before anything touches user state or the §3.3
+	// reuse caches: a retransmitted or duplicated call must not
+	// deserialize its arguments (that would clobber in-use donor
+	// graphs) and must not re-execute the user method.
+	key := dedupKey{from: p.From, seq: seq}
+	if e, fresh := n.dedupAdmit(key); !fresh {
+		c.Counters.DupSuppressed.Add(1)
+		if e != nil {
+			// The call already completed: answer from the reply cache.
+			c.Counters.Messages.Add(1)
+			c.Counters.WireBytes.Add(int64(len(e.payload) - wire.ChecksumSize))
+			_ = n.ep.Send(transport.Packet{To: p.From, TS: e.ts, Payload: e.payload})
+		}
+		return
+	}
+
 	cs, ok := c.site(siteID)
 	if !ok {
 		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID))
@@ -84,7 +117,9 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 
 	// The unmarshaler: take the cached argument graphs (Figure 13's
 	// temp_arr guard), deserialize — overwriting them in place when
-	// shapes match — and hand the copies to the user code.
+	// shapes match — and hand the copies to the user code. A
+	// deserialization error becomes a remote-exception reply, not a
+	// dead receive loop.
 	var cached []*model.Object
 	if cs.cfg.Reuse {
 		cached = cs.argCaches[n.ID].Take()
@@ -102,7 +137,8 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 
 // runMethod executes the user method, returns the cached argument
 // graphs to the call site, and ships the reply (or a bare ack when the
-// call site ignores the return value).
+// call site ignores the return value). A panic in user code is
+// converted into a remote-exception reply carrying the callee's stack.
 func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object) {
 	c := n.cluster
 	call := &Call{Node: n, From: from, Site: cs, start: start}
@@ -110,7 +146,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("method panicked: %v", r)
+				err = fmt.Errorf("method panicked on node %d: %v\n%s", n.ID, r, debug.Stack())
 			}
 		}()
 		rets = method(call, args)
@@ -150,10 +186,18 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		}
 		marshalNS = c.Cost.CostNS(ops)
 	}
-	ts := done + marshalNS
+	n.sendReply(from, seq, done+marshalNS, m)
+}
+
+// sendReply seals and ships a reply frame, and records it in the dedup
+// cache so a retransmitted call is answered without re-execution.
+func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message) {
+	c := n.cluster
 	c.Counters.Messages.Add(1)
 	c.Counters.WireBytes.Add(int64(m.Len()))
-	_ = n.ep.Send(transport.Packet{To: from, TS: ts, Payload: m.Bytes()})
+	sealed := wire.Seal(m.Bytes())
+	n.dedupComplete(dedupKey{from: to, seq: seq}, sealed, ts)
+	_ = n.ep.Send(transport.Packet{To: to, TS: ts, Payload: sealed})
 }
 
 func (n *Node) sendError(to int, seq, floor int64, msg string) {
@@ -162,7 +206,5 @@ func (n *Node) sendError(to int, seq, floor int64, msg string) {
 	m.AppendInt64(seq)
 	m.AppendByte(replyError)
 	m.AppendString(msg)
-	n.cluster.Counters.Messages.Add(1)
-	n.cluster.Counters.WireBytes.Add(int64(m.Len()))
-	_ = n.ep.Send(transport.Packet{To: to, TS: floor, Payload: m.Bytes()})
+	n.sendReply(to, seq, floor, m)
 }

@@ -155,10 +155,14 @@ type Cluster struct {
 	owns  bool // whether Close should close the network
 	nodes []*Node
 
+	policy   CallPolicy
+	dedupCap int
+
 	siteMu sync.RWMutex
 	sites  []*CallSite
 
 	closed atomic.Bool
+	done   chan struct{} // closed by Close; unblocks pending invokers
 	wg     sync.WaitGroup
 }
 
@@ -171,6 +175,9 @@ type clusterOpts struct {
 	cost     simtime.CostModel
 	registry *model.Registry
 	depth    int
+	policy   CallPolicy
+	faults   *transport.FaultConfig
+	dedupCap int
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -189,16 +196,38 @@ func WithRegistry(r *model.Registry) Option {
 	return func(o *clusterOpts) { o.registry = r }
 }
 
+// WithCallPolicy sets the cluster-wide default deadline/retry policy
+// for remote invocations (per-call overrides via InvokeWithPolicy).
+func WithCallPolicy(p CallPolicy) Option {
+	return func(o *clusterOpts) { o.policy = p }
+}
+
+// WithFaults wraps the cluster's network — the default channel network
+// or one supplied via WithNetwork — in a transport.FaultyNetwork with
+// the given seeded fault configuration (chaos mode).
+func WithFaults(cfg transport.FaultConfig) Option {
+	return func(o *clusterOpts) { o.faults = &cfg }
+}
+
+// WithDedupCap bounds the per-node reply cache used to absorb
+// retransmitted calls (default 4096 entries).
+func WithDedupCap(n int) Option {
+	return func(o *clusterOpts) { o.dedupCap = n }
+}
+
 // New creates a cluster of n nodes (default: in-process channel
 // network) and starts their receive loops.
 func New(n int, opts ...Option) *Cluster {
-	o := clusterOpts{cost: simtime.DefaultCostModel(), depth: 1024}
+	o := clusterOpts{cost: simtime.DefaultCostModel(), depth: 1024, dedupCap: 4096}
 	for _, f := range opts {
 		f(&o)
 	}
 	if o.net == nil {
 		o.net = transport.NewChannelNetwork(n, o.depth)
 		o.owns = true
+	}
+	if o.faults != nil {
+		o.net = transport.NewFaultyNetwork(o.net, *o.faults)
 	}
 	if o.registry == nil {
 		o.registry = model.NewRegistry()
@@ -209,6 +238,9 @@ func New(n int, opts ...Option) *Cluster {
 		Cost:     o.cost,
 		net:      o.net,
 		owns:     o.owns,
+		policy:   o.policy,
+		dedupCap: o.dedupCap,
+		done:     make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
@@ -227,11 +259,28 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
-// Close shuts the cluster down; outstanding invocations fail.
+// Network returns the cluster's interconnect. Callers running in chaos
+// mode can type-assert it to *transport.FaultyNetwork to partition and
+// heal links or read fault statistics.
+func (c *Cluster) Network() transport.Network { return c.net }
+
+// CallPolicy returns the cluster-wide default invocation policy.
+func (c *Cluster) CallPolicy() CallPolicy { return c.policy }
+
+// Done is closed when the cluster shuts down. Long-blocking service
+// methods (barriers, queues) select on it so Close can never leave a
+// method goroutine — or a local caller — waiting forever.
+func (c *Cluster) Done() <-chan struct{} { return c.done }
+
+// Close shuts the cluster down. Every pending invocation fails with
+// ErrClusterClosed: the done channel unblocks callers waiting on
+// replies, the network close stops the receive loops, and failPending
+// mops up entries whose reply will now never arrive.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(c.done)
 	c.net.Close()
 	c.wg.Wait()
 	for _, n := range c.nodes {
@@ -289,9 +338,33 @@ type Node struct {
 	pending map[int64]chan reply
 	seq     atomic.Int64
 
+	// The callee-side dedup/reply cache: retransmitted calls (same
+	// caller, same sequence number) must not re-execute user methods or
+	// touch the §3.3 reuse caches. An in-flight entry swallows the
+	// duplicate; a completed entry answers it from the cached reply.
+	dedupMu sync.Mutex
+	dedup   map[dedupKey]*dedupEntry
+	dedupQ  []dedupKey // FIFO eviction order
+
 	// recvMu is the paper's per-node unmarshaler lock: only one thread
 	// drains the network and deserializes at a time.
 	recvMu sync.Mutex
+}
+
+// dedupKey identifies one call attempt stream: sequence numbers are
+// allocated per caller node.
+type dedupKey struct {
+	from int
+	seq  int64
+}
+
+// dedupEntry tracks one call through execution. Until done, the reply
+// fields are unset and duplicates are dropped (the original execution
+// will answer); after done, duplicates are answered from the cache.
+type dedupEntry struct {
+	done    bool
+	payload []byte // sealed reply frame
+	ts      int64  // virtual send timestamp of the reply
 }
 
 type reply struct {
@@ -308,6 +381,7 @@ func newNode(c *Cluster, id int) *Node {
 		ep:      c.net.Endpoint(id),
 		objects: make(map[int64]*Service),
 		pending: make(map[int64]chan reply),
+		dedup:   make(map[dedupKey]*dedupEntry),
 	}
 }
 
@@ -337,7 +411,55 @@ func (n *Node) failPending() {
 	n.pendMu.Lock()
 	defer n.pendMu.Unlock()
 	for seq, ch := range n.pending {
-		ch <- reply{err: fmt.Errorf("rmi: cluster closed")}
+		ch <- reply{err: ErrClusterClosed}
 		delete(n.pending, seq)
 	}
+}
+
+// dedupAdmit decides the fate of an incoming call attempt. It returns
+// (nil, true) for a fresh call (an in-flight entry is recorded),
+// (entry, false) for a duplicate of a completed call (answer from
+// cache), and (nil, false) for a duplicate of an in-flight call (drop;
+// the original execution will answer).
+func (n *Node) dedupAdmit(key dedupKey) (*dedupEntry, bool) {
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	if e, ok := n.dedup[key]; ok {
+		if e.done {
+			return e, false
+		}
+		return nil, false
+	}
+	if limit := n.cluster.dedupCap; limit > 0 && len(n.dedupQ) >= limit {
+		// Evict the oldest completed entry; skip in-flight ones (their
+		// reply is still owed) unless everything is in flight.
+		evicted := false
+		for i, k := range n.dedupQ {
+			if n.dedup[k].done {
+				delete(n.dedup, k)
+				n.dedupQ = append(n.dedupQ[:i], n.dedupQ[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			delete(n.dedup, n.dedupQ[0])
+			n.dedupQ = n.dedupQ[1:]
+		}
+	}
+	n.dedup[key] = &dedupEntry{}
+	n.dedupQ = append(n.dedupQ, key)
+	return nil, true
+}
+
+// dedupComplete stores the call's sealed reply so later retransmits are
+// answered without re-executing the method.
+func (n *Node) dedupComplete(key dedupKey, payload []byte, ts int64) {
+	n.dedupMu.Lock()
+	if e, ok := n.dedup[key]; ok {
+		e.done = true
+		e.payload = payload
+		e.ts = ts
+	}
+	n.dedupMu.Unlock()
 }

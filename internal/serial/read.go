@@ -9,6 +9,12 @@ import (
 	"cormi/internal/wire"
 )
 
+// MaxWireValues bounds the value count a message header may claim.
+// Real call sites have a handful of arguments/returns; anything larger
+// is a corrupted or hostile header, and honoring it would let a single
+// bad frame drive an arbitrarily large allocation.
+const MaxWireValues = 1 << 16
+
 // ReadValues deserializes n values written by WriteValues under the
 // same configuration. In site mode, plans must match the writer's
 // plans. cached, when non-nil, supplies per-value root objects from a
@@ -16,6 +22,9 @@ import (
 // roots slice holds the object graphs now backing each reference value
 // so the caller can stash them back into the reuse cache.
 func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg Config, cached []*model.Object, c *stats.Counters) (vals []model.Value, roots []*model.Object, ops simtime.OpCount, err error) {
+	if n < 0 || n > MaxWireValues {
+		return nil, nil, ops, fmt.Errorf("serial: implausible value count %d", n)
+	}
 	if cfg.Mode == ModeSite && len(plans) != n {
 		return nil, nil, ops, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), n)
 	}

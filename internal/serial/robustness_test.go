@@ -83,3 +83,33 @@ func TestBitFlippedMessagesNeverPanic(t *testing.T) {
 		}()
 	}
 }
+
+// TestImplausibleValueCountRejected: a corrupt or hostile header must
+// not drive a huge allocation through the claimed value count.
+func TestImplausibleValueCountRejected(t *testing.T) {
+	w := newWorld()
+	var c stats.Counters
+	for _, n := range []int{-1, MaxWireValues + 1, 1 << 30} {
+		if _, _, _, err := ReadValues(wire.FromBytes(nil), w.reg, n, nil, Config{Mode: ModeClass}, nil, &c); err == nil {
+			t.Errorf("value count %d accepted", n)
+		}
+	}
+}
+
+// TestErroredMessageReturnsError: once a message is in its sticky error
+// state (e.g. after a short read), ReadValues must surface the error —
+// never hand back zero-value object graphs as if deserialization
+// succeeded.
+func TestErroredMessageReturnsError(t *testing.T) {
+	w := newWorld()
+	var c stats.Counters
+	m := wire.FromBytes([]byte{1})
+	m.ReadInt64() // short read: poisons the message
+	if m.Err() == nil {
+		t.Fatal("short read did not poison the message")
+	}
+	vals, _, _, err := ReadValues(m, w.reg, 1, nil, Config{Mode: ModeClass}, nil, &c)
+	if err == nil {
+		t.Fatalf("errored message accepted, returned %v", vals)
+	}
+}

@@ -34,6 +34,13 @@ type Counters struct {
 	ReusedBytes  atomic.Int64 // bytes reused instead of allocated
 
 	AcksOnly atomic.Int64 // returns collapsed to a bare acknowledgment
+
+	// Fault-tolerance counters (chaos mode).
+	Retries        atomic.Int64 // call retransmissions after a deadline expiry
+	Timeouts       atomic.Int64 // calls that failed with ErrTimeout/ErrPartitioned
+	DupSuppressed  atomic.Int64 // redelivered calls absorbed by the callee dedup cache
+	CorruptDropped atomic.Int64 // frames discarded on checksum mismatch
+	StaleReplies   atomic.Int64 // replies arriving after their call completed
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -45,6 +52,8 @@ type Snapshot struct {
 	AllocObjects, AllocBytes                      int64
 	ReusedObjs, ReusedBytes                       int64
 	AcksOnly                                      int64
+	Retries, Timeouts, DupSuppressed              int64
+	CorruptDropped, StaleReplies                  int64
 }
 
 // Snapshot copies the current counter values.
@@ -66,6 +75,11 @@ func (c *Counters) Snapshot() Snapshot {
 		ReusedObjs:      c.ReusedObjs.Load(),
 		ReusedBytes:     c.ReusedBytes.Load(),
 		AcksOnly:        c.AcksOnly.Load(),
+		Retries:         c.Retries.Load(),
+		Timeouts:        c.Timeouts.Load(),
+		DupSuppressed:   c.DupSuppressed.Load(),
+		CorruptDropped:  c.CorruptDropped.Load(),
+		StaleReplies:    c.StaleReplies.Load(),
 	}
 }
 
@@ -87,6 +101,11 @@ func (c *Counters) Reset() {
 	c.ReusedObjs.Store(0)
 	c.ReusedBytes.Store(0)
 	c.AcksOnly.Store(0)
+	c.Retries.Store(0)
+	c.Timeouts.Store(0)
+	c.DupSuppressed.Store(0)
+	c.CorruptDropped.Store(0)
+	c.StaleReplies.Store(0)
 }
 
 // Sub returns s - t field-wise (statistics accumulated between two
@@ -109,6 +128,11 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		ReusedObjs:      s.ReusedObjs - t.ReusedObjs,
 		ReusedBytes:     s.ReusedBytes - t.ReusedBytes,
 		AcksOnly:        s.AcksOnly - t.AcksOnly,
+		Retries:         s.Retries - t.Retries,
+		Timeouts:        s.Timeouts - t.Timeouts,
+		DupSuppressed:   s.DupSuppressed - t.DupSuppressed,
+		CorruptDropped:  s.CorruptDropped - t.CorruptDropped,
+		StaleReplies:    s.StaleReplies - t.StaleReplies,
 	}
 }
 

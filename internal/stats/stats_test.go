@@ -69,3 +69,27 @@ func TestStringRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryCountersRoundTrip(t *testing.T) {
+	var c Counters
+	c.Retries.Add(4)
+	c.Timeouts.Add(1)
+	c.DupSuppressed.Add(3)
+	c.CorruptDropped.Add(2)
+	c.StaleReplies.Add(5)
+	before := c.Snapshot()
+	if before.Retries != 4 || before.Timeouts != 1 || before.DupSuppressed != 3 ||
+		before.CorruptDropped != 2 || before.StaleReplies != 5 {
+		t.Fatalf("snapshot lost recovery counters: %+v", before)
+	}
+	c.Retries.Add(6)
+	c.CorruptDropped.Add(1)
+	d := c.Snapshot().Sub(before)
+	if d.Retries != 6 || d.CorruptDropped != 1 || d.Timeouts != 0 {
+		t.Fatalf("delta: %+v", d)
+	}
+	c.Reset()
+	if z := c.Snapshot(); z != (Snapshot{}) {
+		t.Fatalf("reset left %+v", z)
+	}
+}

@@ -43,6 +43,7 @@ func NewTCPNetworkLocal(n int) (*TCPNetwork, error) {
 			net:   tn,
 			id:    i,
 			inbox: make(chan Packet, 256),
+			done:  make(chan struct{}),
 			conns: make(map[int]net.Conn),
 		}
 		tn.eps[i] = ep
@@ -80,9 +81,13 @@ func (tn *TCPNetwork) Close() error {
 }
 
 type tcpEndpoint struct {
-	net   *TCPNetwork
-	id    int
+	net *TCPNetwork
+	id  int
+	// inbox is never closed — concurrent readLoops may be mid-send.
+	// done signals shutdown instead; Recv drains what is buffered and
+	// then reports closure.
 	inbox chan Packet
+	done  chan struct{}
 
 	mu     sync.Mutex
 	conns  map[int]net.Conn // outgoing, keyed by destination
@@ -123,16 +128,11 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			To:      e.id,
 			Payload: frame[12:],
 		}
-		e.mu.Lock()
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
+		select {
+		case e.inbox <- p:
+		case <-e.done:
 			return
 		}
-		func() {
-			defer func() { recover() }() // inbox may close concurrently
-			e.inbox <- p
-		}()
 	}
 }
 
@@ -177,8 +177,19 @@ func (e *tcpEndpoint) Send(p Packet) error {
 }
 
 func (e *tcpEndpoint) Recv() (Packet, bool) {
-	p, ok := <-e.inbox
-	return p, ok
+	select {
+	case p := <-e.inbox:
+		return p, true
+	case <-e.done:
+		// Shutdown: hand out whatever is still buffered, then report
+		// closure.
+		select {
+		case p := <-e.inbox:
+			return p, true
+		default:
+			return Packet{}, false
+		}
+	}
 }
 
 func (e *tcpEndpoint) Close() error { return e.net.Close() }
@@ -196,6 +207,6 @@ func (e *tcpEndpoint) close() {
 	for _, c := range e.accept {
 		c.Close()
 	}
-	close(e.inbox)
+	close(e.done)
 	e.mu.Unlock()
 }
