@@ -1,7 +1,7 @@
 # Tier-1 verification gate: static checks, a full build, and the test
 # suite under the race detector (the fault-tolerance layer is
 # concurrency-heavy; -race is part of its acceptance criteria).
-.PHONY: verify test bench
+.PHONY: verify test bench verify-perf
 
 verify:
 	go vet ./...
@@ -11,5 +11,17 @@ verify:
 test:
 	go test ./...
 
+# Regenerate the human-readable Go benchmarks and the machine-readable
+# perf baseline consumed by benchdiff (commit BENCH_rmibench.json when
+# a perf change is intentional).
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem -count=5 ./...
+	go run ./cmd/rmibench -json > BENCH_rmibench.json
+
+# Opt-in perf gate: measure a fresh report and compare it against the
+# committed baseline. Fails on >10% ns/op growth or any allocs/op
+# regression on any workload × optimization level row.
+verify-perf: verify
+	go run ./cmd/rmibench -json > /tmp/BENCH_rmibench.fresh.json
+	go run ./cmd/benchdiff BENCH_rmibench.json /tmp/BENCH_rmibench.fresh.json
+	rm -f /tmp/BENCH_rmibench.fresh.json

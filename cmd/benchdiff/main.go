@@ -1,0 +1,55 @@
+// Command benchdiff compares two rmibench perf reports and fails on
+// regressions. It is the gate behind `make verify-perf`:
+//
+//	rmibench -json > /tmp/fresh.json
+//	benchdiff BENCH_rmibench.json /tmp/fresh.json
+//
+// The first argument is the committed baseline, the second the fresh
+// measurement. The exit status is nonzero when any workload × level
+// row regresses: missing row, ns/op more than -ns-tol above baseline
+// (default 10%), or allocs/op above baseline plus -alloc-eps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cormi/internal/harness"
+)
+
+func main() {
+	opts := harness.DefaultDiffOpts()
+	flag.Float64Var(&opts.NsTolerance, "ns-tol", opts.NsTolerance, "allowed fractional ns/op growth")
+	flag.Float64Var(&opts.AllocEpsilon, "alloc-eps", opts.AllocEpsilon, "allowed absolute allocs/op growth")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json")
+		os.Exit(2)
+	}
+
+	load := func(path string) *harness.BenchReport {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		r, err := harness.ParseBenchReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	base, cur := load(flag.Arg(0)), load(flag.Arg(1))
+
+	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), flag.Arg(0))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d rows OK (ns/op within %.0f%%, allocs/op within +%.2f)\n",
+		len(base.Rows), 100*opts.NsTolerance, opts.AllocEpsilon)
+}

@@ -9,6 +9,10 @@
 //	rmibench -faults       # chaos mode: run the workloads over a lossy
 //	                       # network and verify exactly-once completion
 //	rmibench -faults -drop 0.1 -dup 0.05 -seed 7   # custom fault mix
+//	rmibench -json > BENCH_rmibench.json           # machine-readable
+//	                       # perf report (ns/op, B/op, allocs/op per
+//	                       # workload × optimization level) consumed by
+//	                       # cmd/benchdiff / `make verify-perf`
 package main
 
 import (
@@ -29,7 +33,23 @@ func main() {
 	reorder := flag.Float64("reorder", -1, "chaos: packet reordering probability")
 	corrupt := flag.Float64("corrupt", -1, "chaos: payload corruption probability")
 	seed := flag.Int64("seed", 42, "chaos: fault injection seed")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable perf report (for benchdiff) and exit")
 	flag.Parse()
+
+	if *jsonOut {
+		report, err := harness.RunBench(harness.DefaultBenchSpec())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: bench run failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
 
 	if *faults {
 		spec := harness.DefaultChaosSpec(*seed)

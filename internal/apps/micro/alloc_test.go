@@ -1,0 +1,115 @@
+package micro
+
+import (
+	"testing"
+
+	"cormi/internal/apps/appkit"
+	"cormi/internal/core"
+	"cormi/internal/model"
+	"cormi/internal/race"
+	"cormi/internal/rmi"
+)
+
+// steadyAllocBudget bounds per-invocation heap allocations on the full
+// RMI path at site+reuse+cycle: what remains is the method-launch
+// goroutine, the per-call Call struct and scheduler noise — the
+// serialize/send/receive path itself is allocation free (see
+// serial.TestPureHotPathZeroAllocs). A regression past this budget
+// means pooling broke somewhere on the hot path.
+const steadyAllocBudget = 8.0
+
+func steadyState(t *testing.T, name string, invoke func()) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		invoke() // reach pool/reuse-cache steady state
+	}
+	avg := testing.AllocsPerRun(300, invoke)
+	t.Logf("%s: %.2f allocs per invocation", name, avg)
+	if avg > steadyAllocBudget {
+		t.Fatalf("%s: %.2f allocs per steady-state invocation, budget %.1f", name, avg, steadyAllocBudget)
+	}
+}
+
+// TestSteadyStateAllocs pins the allocation budget of the two paper
+// micro-benchmarks under full optimization, with the cluster and call
+// site set up once and invocations measured in isolation.
+func TestSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	t.Run("array2d", func(t *testing.T) {
+		cluster := rmi.New(2)
+		defer cluster.Close()
+		res, err := core.CompileInto(ArrayBenchSrc, cluster.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := appkit.SoleSite(res, "ArrayBench.send")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := appkit.Register(cluster, rmi.LevelSiteReuseCycle, si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := cluster.Node(1).Export(&rmi.Service{Name: "ArrayBench", Methods: map[string]rmi.Method{
+			"send": func(call *rmi.Call, args []model.Value) []model.Value { return nil },
+		}})
+
+		arr := model.NewArray(cluster.Registry.MustByName("double[][]"), 16)
+		for i := range arr.Refs {
+			row := model.NewArray(cluster.Registry.DoubleArray(), 16)
+			for j := range row.Doubles {
+				row.Doubles[j] = float64(i + j)
+			}
+			arr.Refs[i] = row
+		}
+
+		caller := cluster.Node(0)
+		argv := []model.Value{model.Ref(arr)}
+		steadyState(t, "array2d", func() {
+			if _, err := cs.Invoke(caller, ref, argv); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("linkedlist", func(t *testing.T) {
+		cluster := rmi.New(2)
+		defer cluster.Close()
+		res, err := core.CompileInto(LinkedListSrc, cluster.Registry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := appkit.SoleSite(res, "Foo.send")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := appkit.Register(cluster, rmi.LevelSiteReuseCycle, si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := cluster.Node(1).Export(&rmi.Service{Name: "Foo", Methods: map[string]rmi.Method{
+			"send": func(call *rmi.Call, args []model.Value) []model.Value { return nil },
+		}})
+
+		nodeClass, ok := res.ModelClass("LinkedList")
+		if !ok {
+			t.Fatal("LinkedList class missing")
+		}
+		var head *model.Object
+		for i := 0; i < 100; i++ {
+			x := model.New(nodeClass)
+			x.Fields[0] = model.Ref(head)
+			head = x
+		}
+
+		caller := cluster.Node(0)
+		argv := []model.Value{model.Ref(head)}
+		steadyState(t, "linkedlist", func() {
+			if _, err := cs.Invoke(caller, ref, argv); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

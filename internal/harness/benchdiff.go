@@ -1,0 +1,63 @@
+package harness
+
+// Regression comparison between two BenchReports. A fresh report fails
+// against the committed baseline when any row is missing, when wall
+// time per op regresses by more than NsTolerance (default 10%), or
+// when allocations per op regress beyond a small absolute epsilon.
+// Allocation budgets are the tighter gate: the zero-allocation hot
+// path (DESIGN.md §8) is an invariant, not a statistic, so any real
+// growth fails even when ns/op still looks fine.
+
+import "fmt"
+
+// DiffOpts tunes the regression thresholds.
+type DiffOpts struct {
+	// NsTolerance is the allowed fractional ns/op growth (0.10 = 10%).
+	NsTolerance float64
+	// AllocEpsilon is the allowed absolute growth in allocs/op,
+	// absorbing amortized one-off setup allocations that land on a
+	// different side of an iteration boundary between runs. The
+	// effective budget per row is AllocEpsilon plus 1% of the
+	// baseline's allocs/op, so zero-allocation rows stay near-strict
+	// while allocation-heavy class-mode rows tolerate their own noise.
+	AllocEpsilon float64
+}
+
+// DefaultDiffOpts matches the thresholds used by `make verify-perf`.
+func DefaultDiffOpts() DiffOpts {
+	return DiffOpts{NsTolerance: 0.10, AllocEpsilon: 0.5}
+}
+
+// allocBudget is the allowed allocs/op for a row with baseline b.
+func (o DiffOpts) allocBudget(b float64) float64 {
+	return b + o.AllocEpsilon + 0.01*b
+}
+
+// CompareBench reports every regression of cur against base, one
+// human-readable line each. An empty result means cur passes. Rows
+// present only in cur (new workloads) are not regressions; rows
+// missing from cur are.
+func CompareBench(base, cur *BenchReport, opts DiffOpts) []string {
+	var regressions []string
+	for i := range base.Rows {
+		b := &base.Rows[i]
+		c := cur.Row(b.Table, b.Level)
+		if c == nil {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: missing from new report", b.Table, b.Level))
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+opts.NsTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				b.Table, b.Level, b.NsPerOp, c.NsPerOp,
+				100*(c.NsPerOp/b.NsPerOp-1), 100*opts.NsTolerance))
+		}
+		if budget := opts.allocBudget(b.AllocsPerOp); c.AllocsPerOp > budget {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: allocs/op %.2f -> %.2f (budget %.2f)",
+				b.Table, b.Level, b.AllocsPerOp, c.AllocsPerOp, budget))
+		}
+	}
+	return regressions
+}

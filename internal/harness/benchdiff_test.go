@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(rows ...BenchRow) *BenchReport {
+	return &BenchReport{GoVersion: "gotest", Rows: rows}
+}
+
+func row(table, level string, ns, allocs float64) BenchRow {
+	return BenchRow{Table: table, Level: level, Iters: 1000, NsPerOp: ns, BPerOp: 64, AllocsPerOp: allocs}
+}
+
+func TestCompareBenchPasses(t *testing.T) {
+	base := report(row("table1_linkedlist", "site", 1000, 3), row("table2_array2d", "class", 500, 40))
+	cur := report(
+		row("table1_linkedlist", "site", 1080, 3.2), // +8% ns, +0.2 allocs: within thresholds
+		row("table2_array2d", "class", 400, 35),     // improvement
+		row("table9_new", "site", 9999, 99),         // extra rows are fine
+	)
+	if regs := CompareBench(base, cur, DefaultDiffOpts()); len(regs) != 0 {
+		t.Fatalf("expected pass, got regressions: %v", regs)
+	}
+}
+
+func TestCompareBenchNsRegression(t *testing.T) {
+	base := report(row("table1_linkedlist", "site", 1000, 3))
+	cur := report(row("table1_linkedlist", "site", 1200, 3))
+	regs := CompareBench(base, cur, DefaultDiffOpts())
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("expected one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareBenchAllocRegression(t *testing.T) {
+	base := report(row("table2_array2d", "site+reuse+cycle", 1000, 0.1))
+	cur := report(row("table2_array2d", "site+reuse+cycle", 900, 2)) // faster but allocates
+	regs := CompareBench(base, cur, DefaultDiffOpts())
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("expected one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareBenchMissingRow(t *testing.T) {
+	base := report(row("table1_linkedlist", "site", 1000, 3), row("table1_linkedlist", "class", 2000, 50))
+	cur := report(row("table1_linkedlist", "site", 1000, 3))
+	regs := CompareBench(base, cur, DefaultDiffOpts())
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("expected one missing-row regression, got %v", regs)
+	}
+}
+
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	in := report(row("table1_linkedlist", "site+reuse", 1234.5, 0))
+	data, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBenchReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Row("table1_linkedlist", "site+reuse")
+	if got == nil || got.NsPerOp != 1234.5 || got.Iters != 1000 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if out.Row("table1_linkedlist", "class") != nil {
+		t.Fatal("Row returned a match for an absent level")
+	}
+}
+
+// TestRunBenchSmoke runs a tiny version of the measurement matrix and
+// checks the report shape (all workloads × all levels, sane values).
+func TestRunBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is slow in -short mode")
+	}
+	spec := BenchSpec{MicroIters: 20, WebRequests: 20, SuperoptN: 1}
+	rep, err := RunBench(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables := []string{"table1_linkedlist", "table2_array2d", "table5_superopt", "table7_webserver"}
+	wantLevels := []string{"class", "site", "site+cycle", "site+reuse", "site+reuse+cycle"}
+	if len(rep.Rows) != len(wantTables)*len(wantLevels) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(wantTables)*len(wantLevels))
+	}
+	for _, tab := range wantTables {
+		for _, lv := range wantLevels {
+			r := rep.Row(tab, lv)
+			if r == nil {
+				t.Fatalf("missing row %s/%s", tab, lv)
+			}
+			if r.NsPerOp <= 0 {
+				t.Fatalf("%s/%s: non-positive ns/op %v", tab, lv, r.NsPerOp)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package harness
+
+// Machine-readable benchmark measurements for the perf-regression
+// harness: each paper workload runs a fixed number of iterations per
+// optimization level under real wall-clock time and allocator
+// accounting (runtime.ReadMemStats), and the results serialize to JSON
+// (BENCH_rmibench.json). benchdiff.go compares two such reports and
+// flags regressions; `make verify-perf` wires the comparison against
+// the committed baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cormi/internal/apps/micro"
+	"cormi/internal/apps/superopt"
+	"cormi/internal/apps/webserver"
+	"cormi/internal/rmi"
+)
+
+// BenchRow is one workload × optimization level measurement.
+type BenchRow struct {
+	Table string `json:"table"` // e.g. "table1_linkedlist"
+	Level string `json:"level"` // e.g. "site+reuse+cycle"
+	Iters int    `json:"iters"`
+	// NsPerOp is real wall-clock nanoseconds per operation (one send,
+	// one request, ... — fixed workload setup amortized over Iters).
+	NsPerOp float64 `json:"ns_per_op"`
+	// BPerOp / AllocsPerOp are heap bytes and allocations per
+	// operation over the whole process (runtime.MemStats deltas).
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchReport is the full measurement set of one run.
+type BenchReport struct {
+	GoVersion string     `json:"go_version"`
+	Rows      []BenchRow `json:"rows"`
+}
+
+// Row finds a measurement by workload and level (nil if absent).
+func (r *BenchReport) Row(table, level string) *BenchRow {
+	for i := range r.Rows {
+		if r.Rows[i].Table == table && r.Rows[i].Level == level {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// JSON renders the report with stable formatting.
+func (r *BenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseBenchReport decodes a report produced by JSON.
+func ParseBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: bad bench report: %w", err)
+	}
+	return &r, nil
+}
+
+// levelName is the stable (whitespace-free) spelling of a level used
+// in report keys.
+func levelName(l rmi.OptLevel) string {
+	switch l {
+	case rmi.LevelClass:
+		return "class"
+	case rmi.LevelSite:
+		return "site"
+	case rmi.LevelSiteCycle:
+		return "site+cycle"
+	case rmi.LevelSiteReuse:
+		return "site+reuse"
+	default:
+		return "site+reuse+cycle"
+	}
+}
+
+// measure runs f repeats times and keeps the best (minimum) wall time
+// and allocator deltas per operation. The minimum, not the mean, is
+// what regression tracking wants: scheduler and GC noise only ever
+// inflates a run, so the fastest repeat is the closest estimate of the
+// code's true cost.
+func measure(table, level string, iters, repeats int, f func() error) (BenchRow, error) {
+	row := BenchRow{Table: table, Level: level, Iters: iters}
+	n := float64(iters)
+	for r := 0; r < repeats; r++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := f()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return BenchRow{}, fmt.Errorf("harness: bench %s/%s: %w", table, level, err)
+		}
+		ns := float64(elapsed.Nanoseconds()) / n
+		bPer := float64(after.TotalAlloc-before.TotalAlloc) / n
+		allocs := float64(after.Mallocs-before.Mallocs) / n
+		if r == 0 || ns < row.NsPerOp {
+			row.NsPerOp = ns
+		}
+		if r == 0 || bPer < row.BPerOp {
+			row.BPerOp = bPer
+		}
+		if r == 0 || allocs < row.AllocsPerOp {
+			row.AllocsPerOp = allocs
+		}
+	}
+	return row, nil
+}
+
+// BenchSpec sizes the measured workloads.
+type BenchSpec struct {
+	MicroIters  int // sends per level for Tables 1 and 2
+	WebRequests int // page retrievals per level for Table 7
+	SuperoptN   int // exhaustive searches per level for Table 5
+	Repeats     int // best-of-N repetitions per row
+}
+
+// DefaultBenchSpec keeps the full matrix under a few seconds.
+func DefaultBenchSpec() BenchSpec {
+	return BenchSpec{MicroIters: 2000, WebRequests: 1500, SuperoptN: 3, Repeats: 5}
+}
+
+// RunBench measures the perf-critical workloads at every optimization
+// level and returns the machine-readable report.
+func RunBench(spec BenchSpec) (*BenchReport, error) {
+	report := &BenchReport{GoVersion: runtime.Version()}
+	add := func(row BenchRow, err error) error {
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+		return nil
+	}
+	repeats := spec.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	for _, level := range rmi.AllLevels {
+		lv, name := level, levelName(level)
+		if err := add(measure("table1_linkedlist", name, spec.MicroIters, repeats, func() error {
+			_, err := micro.RunLinkedList(lv, 100, spec.MicroIters)
+			return err
+		})); err != nil {
+			return nil, err
+		}
+		if err := add(measure("table2_array2d", name, spec.MicroIters, repeats, func() error {
+			_, err := micro.RunArray(lv, 16, spec.MicroIters)
+			return err
+		})); err != nil {
+			return nil, err
+		}
+		if err := add(measure("table5_superopt", name, spec.SuperoptN, repeats, func() error {
+			p := superopt.DefaultParams()
+			for i := 0; i < spec.SuperoptN; i++ {
+				if _, err := superopt.Search(lv, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})); err != nil {
+			return nil, err
+		}
+		if err := add(measure("table7_webserver", name, spec.WebRequests, repeats, func() error {
+			p := webserver.DefaultParams()
+			p.Requests = spec.WebRequests
+			_, err := webserver.Run(lv, p)
+			return err
+		})); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}

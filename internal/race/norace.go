@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-budget tests can skip themselves: race instrumentation
+// allocates on paths that are allocation free in a normal build.
+package race
+
+// Enabled is true when the build has -race instrumentation.
+const Enabled = false

@@ -35,6 +35,17 @@ type CallSite struct {
 	// per-JVM state).
 	argCaches []serial.ReuseCache
 	retCaches []serial.ReuseCache
+
+	// argScratch/retScratch mark the value slices themselves as
+	// recyclable through the reuse caches. That is sound only when
+	// EVERY value is a reference covered by a §3.3 escape proof: such a
+	// slice only points at graphs that are overwritten in place on the
+	// next invocation anyway, so recycling it adds no observable
+	// mutation. A primitive value, by contrast, is a plain result the
+	// caller may legitimately retain — one primitive plan disables
+	// slice recycling for the whole site.
+	argScratch bool
+	retScratch bool
 }
 
 // SiteSpec describes a call site to register.
@@ -82,6 +93,10 @@ func (c *Cluster) NewCallSite(level OptLevel, spec SiteSpec) (*CallSite, error) 
 		argCaches: make([]serial.ReuseCache, c.Size()),
 		retCaches: make([]serial.ReuseCache, c.Size()),
 	}
+	if scfg.Mode == serial.ModeSite && scfg.Reuse {
+		cs.argScratch = refPlansReusable(spec.ArgPlans)
+		cs.retScratch = refPlansReusable(spec.RetPlans)
+	}
 	c.siteMu.Lock()
 	cs.ID = int32(len(c.sites))
 	c.sites = append(c.sites, cs)
@@ -101,10 +116,30 @@ func (c *Cluster) MustNewCallSite(level OptLevel, spec SiteSpec) *CallSite {
 // Config exposes the site's serializer configuration (for tests).
 func (cs *CallSite) Config() serial.Config { return cs.cfg }
 
+// refPlansReusable reports whether every plan is a reference carrying
+// the escape-analysis reuse proof — the precondition for recycling the
+// value slice itself (see CallSite.argScratch).
+func refPlansReusable(plans []*serial.Plan) bool {
+	for _, p := range plans {
+		if p.Kind != model.FRef || !p.Reusable {
+			return false
+		}
+	}
+	return true
+}
+
 // Message type tags.
 const (
 	msgCall  = 0
 	msgReply = 1
+)
+
+// Call header flags (byte following the msgCall tag).
+const (
+	// callFlagRetryable marks a call whose policy may retransmit it;
+	// only these calls need a cached reply for duplicate suppression on
+	// a fault-free interconnect.
+	callFlagRetryable = 1 << 0
 )
 
 // Reply flags.
@@ -151,7 +186,7 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 		return nil, fmt.Errorf("rmi: %s has no method %q", svc.Name, cs.Method)
 	}
 
-	clonedArgs, argRoots, err := cs.cloneThroughSerializer(n, args, cs.argPlans, &cs.argCaches[n.ID])
+	clonedArgs, argRoots, err := cs.cloneThroughSerializer(n, args, cs.argPlans, &cs.argCaches[n.ID], cs.argScratch)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +205,11 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 	// As on the remote path, the argument graphs go back into the
 	// cache only once the method is done with them.
 	if cs.cfg.Reuse {
-		cs.argCaches[n.ID].Put(argRoots)
+		var scratch []model.Value
+		if cs.argScratch {
+			scratch = clonedArgs
+		}
+		cs.argCaches[n.ID].Put(argRoots, scratch)
 	}
 	if err != nil {
 		return nil, err
@@ -180,12 +219,16 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 		// the return value skips the result-cloning step.
 		return nil, nil
 	}
-	cloned, retRoots, err := cs.cloneThroughSerializer(n, rets, cs.retPlans, &cs.retCaches[n.ID])
+	cloned, retRoots, err := cs.cloneThroughSerializer(n, rets, cs.retPlans, &cs.retCaches[n.ID], cs.retScratch)
 	if err != nil {
 		return nil, err
 	}
 	if cs.cfg.Reuse {
-		cs.retCaches[n.ID].Put(retRoots)
+		var scratch []model.Value
+		if cs.retScratch {
+			scratch = cloned
+		}
+		cs.retCaches[n.ID].Put(retRoots, scratch)
 	}
 	return cloned, nil
 }
@@ -193,22 +236,30 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 // cloneThroughSerializer deep-copies vals by a serialize/deserialize
 // round trip on node n, honoring the call site's plans and drawing
 // donor graphs from cache; the caller is responsible for putting the
-// returned roots back once the values are dead.
-func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []*serial.Plan, cache *serial.ReuseCache) ([]model.Value, []*model.Object, error) {
+// returned roots back once the values are dead. The round trip runs
+// through one pooled message: written forward, rewound, read back.
+func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []*serial.Plan, cache *serial.ReuseCache, useScratch bool) ([]model.Value, []*model.Object, error) {
 	c := n.cluster
 	if len(vals) == 0 {
 		return vals, nil, nil
 	}
-	m := wire.NewMessage(64)
+	m := wire.Get()
 	wops, err := serial.WriteValues(m, vals, plans, cs.cfg, c.Counters)
 	if err != nil {
+		m.Release()
 		return nil, nil, err
 	}
 	var cached []*model.Object
+	var scratch []model.Value
 	if cs.cfg.Reuse {
-		cached = cache.Take()
+		cached, scratch = cache.Take()
+		if !useScratch {
+			scratch = nil
+		}
 	}
-	out, roots, rops, err := serial.ReadValues(wire.FromBytes(m.Bytes()), c.Registry, len(vals), plans, cs.cfg, cached, c.Counters)
+	m.Rewind()
+	out, roots, rops, err := serial.ReadValuesScratch(m, c.Registry, len(vals), plans, cs.cfg, cached, scratch, c.Counters)
+	m.Release()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -221,8 +272,14 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	c := n.cluster
 	c.Counters.RemoteRPCs.Add(1)
 
-	m := wire.NewMessage(64)
+	attempts := pol.attempts()
+	m := wire.Get()
 	m.AppendByte(msgCall)
+	var flags byte
+	if attempts > 1 {
+		flags |= callFlagRetryable
+	}
+	m.AppendByte(flags)
 	m.AppendInt32(cs.ID)
 	m.AppendInt64(ref.Obj)
 	seq := n.seq.Add(1)
@@ -230,31 +287,38 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	m.AppendInt32(int32(len(args)))
 	ops, err := serial.WriteValues(m, args, cs.argPlans, cs.cfg, c.Counters)
 	if err != nil {
+		m.Release()
 		return nil, err
 	}
 	n.Clock.Advance(c.Cost.CostNS(ops))
 
-	ch := make(chan reply, 1)
+	// The frame is marshaled and sealed once; retransmits resend the
+	// same bytes under the same sequence number, which is what lets the
+	// callee recognize and deduplicate them. The transport owns every
+	// buffer it is handed, so a retryable call keeps a private master
+	// copy to clone retransmits from; the common single-attempt call
+	// skips the copy.
+	wireLen := int64(m.Len())
+	sealed := m.SealFrame()
+	var master []byte
+	if attempts > 1 {
+		master = append([]byte(nil), sealed...)
+	}
+	frame := m.Detach()
+
+	ch := n.getReplyCh()
 	n.pendMu.Lock()
 	n.pending[seq] = ch
 	n.pendMu.Unlock()
-	defer func() {
-		n.pendMu.Lock()
-		delete(n.pending, seq)
-		n.pendMu.Unlock()
-	}()
 
-	// The sealed frame is marshaled once; retransmits resend the same
-	// bytes under the same sequence number, which is what lets the
-	// callee recognize and deduplicate them.
-	wireLen := int64(m.Len())
-	sealed := wire.Seal(m.Bytes())
-	attempts := pol.attempts()
 	var rep reply
 	for attempt := 1; ; attempt++ {
 		c.Counters.Messages.Add(1)
 		c.Counters.WireBytes.Add(wireLen)
-		if err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: sealed}); err != nil {
+		err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: frame})
+		frame = nil // ownership passed to the transport, success or error
+		if err != nil {
+			n.abandonCall(seq, ch)
 			return nil, fmt.Errorf("rmi: send: %w", err)
 		}
 
@@ -264,6 +328,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 			select {
 			case rep = <-ch:
 			case <-c.done:
+				n.abandonCall(seq, ch)
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 			}
 		} else {
@@ -273,6 +338,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 				timer.Stop()
 			case <-c.done:
 				timer.Stop()
+				n.abandonCall(seq, ch)
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 			case <-timer.C:
 				if attempt < attempts {
@@ -280,13 +346,18 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 						select {
 						case <-time.After(d):
 						case <-c.done:
+							n.abandonCall(seq, ch)
 							return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 						}
 					}
 					c.Counters.Retries.Add(1)
+					f := wire.GetBuf(len(master))
+					copy(f, master)
+					frame = f
 					continue
 				}
 				c.Counters.Timeouts.Add(1)
+				n.abandonCall(seq, ch)
 				if pr, ok := c.net.(transport.PartitionReporter); ok &&
 					(pr.Partitioned(n.ID, ref.Node) || pr.Partitioned(ref.Node, n.ID)) {
 					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, ref.Node, ErrPartitioned)
@@ -297,7 +368,12 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		}
 		break
 	}
+	// The reply landed, which means the receive loop removed the
+	// pending entry before sending: the channel is empty and no further
+	// send can occur — recycle it.
+	n.putReplyCh(ch)
 	if rep.err != nil {
+		wire.PutBuf(rep.buf)
 		return nil, rep.err
 	}
 	n.Clock.Sync(rep.arrival)
@@ -305,27 +381,42 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 
 	switch rep.flag {
 	case replyAck:
+		wire.PutBuf(rep.buf)
 		return nil, nil
 	case replyError:
-		rm := wire.FromBytes(rep.payload)
-		return nil, fmt.Errorf("rmi: remote error from %s: %s", cs.Name, rm.ReadString())
+		rm := wire.GetReader(rep.payload)
+		msg := rm.ReadString()
+		rm.ReleaseReader()
+		wire.PutBuf(rep.buf)
+		return nil, fmt.Errorf("rmi: remote error from %s: %s", cs.Name, msg)
 	case replyValues:
-		rm := wire.FromBytes(rep.payload)
+		rm := wire.GetReader(rep.payload)
 		nvals := int(rm.ReadInt32())
 		var cached []*model.Object
+		var scratch []model.Value
 		if cs.cfg.Reuse {
-			cached = cs.retCaches[n.ID].Take()
+			cached, scratch = cs.retCaches[n.ID].Take()
+			if !cs.retScratch {
+				scratch = nil
+			}
 		}
-		vals, roots, ops, err := serial.ReadValues(rm, c.Registry, nvals, cs.retPlans, cs.cfg, cached, c.Counters)
+		vals, roots, ops, err := serial.ReadValuesScratch(rm, c.Registry, nvals, cs.retPlans, cs.cfg, cached, scratch, c.Counters)
+		rm.ReleaseReader()
+		wire.PutBuf(rep.buf)
 		if err != nil {
 			return nil, err
 		}
 		n.Clock.Advance(c.Cost.CostNS(ops))
 		if cs.cfg.Reuse {
-			cs.retCaches[n.ID].Put(roots)
+			var scratch []model.Value
+			if cs.retScratch {
+				scratch = vals
+			}
+			cs.retCaches[n.ID].Put(roots, scratch)
 		}
 		return vals, nil
 	default:
+		wire.PutBuf(rep.buf)
 		return nil, fmt.Errorf("rmi: bad reply flag %d", rep.flag)
 	}
 }

@@ -18,34 +18,48 @@ import (
 // paper's "only one thread can drain the network" rule — and the user
 // method runs in a fresh goroutine. Replies are routed to the pending
 // invocation.
+//
+// Frame ownership (DESIGN.md §8): the loop owns every received
+// payload. Call frames are fully deserialized inside handleCall (views
+// into the frame are copied into user objects there), so the frame is
+// recycled as soon as handleCall returns; reply frames travel onward
+// inside the reply struct and are recycled by the invoker. Frames that
+// turn out corrupt, stale or unroutable are recycled here.
 func (n *Node) recvLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	// One reusable reader wraps each frame in turn; it never owns them.
+	rd := wire.GetReader(nil)
+	defer rd.ReleaseReader()
 	for {
 		p, ok := n.ep.Recv()
 		if !ok {
 			return
 		}
-		payload, err := wire.Unseal(p.Payload)
+		frame := p.Payload
+		payload, err := wire.Unseal(frame)
 		if err != nil {
 			n.cluster.Counters.CorruptDropped.Add(1)
+			wire.PutBuf(frame)
 			continue
 		}
 		p.Payload = payload
-		m := wire.FromBytes(p.Payload)
-		switch t := m.ReadU8(); t {
+		rd.ResetTo(payload)
+		switch t := rd.ReadU8(); t {
 		case msgCall:
 			n.recvMu.Lock()
-			n.handleCall(p, m)
+			n.handleCall(p, rd)
 			n.recvMu.Unlock()
+			wire.PutBuf(frame)
 		case msgReply:
-			seq := m.ReadInt64()
-			flag := m.ReadU8()
-			if m.Err() != nil {
+			seq := rd.ReadInt64()
+			flag := rd.ReadU8()
+			if rd.Err() != nil {
 				n.cluster.Counters.CorruptDropped.Add(1)
+				wire.PutBuf(frame)
 				continue
 			}
 			arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
-			payload := p.Payload[1+8+1:]
+			body := payload[1+8+1:]
 			n.pendMu.Lock()
 			ch, ok := n.pending[seq]
 			if ok {
@@ -53,11 +67,14 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			}
 			n.pendMu.Unlock()
 			if ok {
-				ch <- reply{flag: flag, payload: payload, arrival: arrival}
+				ch <- reply{flag: flag, payload: body, buf: frame, arrival: arrival}
 			} else {
 				// Duplicate or post-timeout reply; the call is gone.
 				n.cluster.Counters.StaleReplies.Add(1)
+				wire.PutBuf(frame)
 			}
+		default:
+			wire.PutBuf(frame)
 		}
 	}
 }
@@ -74,12 +91,19 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	arrival := p.TS + c.Cost.MessageNS(len(p.Payload))
 	start := arrival + c.Cost.DispatchNS
 
+	flags := m.ReadU8()
 	siteID := m.ReadInt32()
 	objID := m.ReadInt64()
 	seq := m.ReadInt64()
 	nargs := int(m.ReadInt32())
+	// track decides whether this call needs dedup bookkeeping: the
+	// caller may retransmit it, or the interconnect itself can
+	// duplicate packets. On a fault-free non-retrying hot path a
+	// duplicate is impossible, so the map insert, entry and reply-copy
+	// costs are skipped entirely.
+	track := flags&callFlagRetryable != 0 || c.faulty
 	if m.Err() != nil {
-		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()))
+		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), track)
 		return
 	}
 
@@ -87,31 +111,37 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// reuse caches: a retransmitted or duplicated call must not
 	// deserialize its arguments (that would clobber in-use donor
 	// graphs) and must not re-execute the user method.
-	key := dedupKey{from: p.From, seq: seq}
-	if e, fresh := n.dedupAdmit(key); !fresh {
-		c.Counters.DupSuppressed.Add(1)
-		if e != nil {
-			// The call already completed: answer from the reply cache.
-			c.Counters.Messages.Add(1)
-			c.Counters.WireBytes.Add(int64(len(e.payload) - wire.ChecksumSize))
-			_ = n.ep.Send(transport.Packet{To: p.From, TS: e.ts, Payload: e.payload})
+	if track {
+		key := dedupKey{from: p.From, seq: seq}
+		if e, fresh := n.dedupAdmit(key); !fresh {
+			c.Counters.DupSuppressed.Add(1)
+			if e != nil {
+				// The call already completed: answer from the reply
+				// cache with a fresh copy (the transport consumes the
+				// buffer it is handed; the cache keeps its own).
+				c.Counters.Messages.Add(1)
+				c.Counters.WireBytes.Add(int64(len(e.payload) - wire.ChecksumSize))
+				cp := wire.GetBuf(len(e.payload))
+				copy(cp, e.payload)
+				_ = n.ep.Send(transport.Packet{To: p.From, TS: e.ts, Payload: cp})
+			}
+			return
 		}
-		return
 	}
 
 	cs, ok := c.site(siteID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID))
+		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID), track)
 		return
 	}
 	svc, ok := n.lookup(objID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID))
+		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID), track)
 		return
 	}
 	method, ok := svc.Methods[cs.Method]
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method))
+		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method), track)
 		return
 	}
 
@@ -121,25 +151,29 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// deserialization error becomes a remote-exception reply, not a
 	// dead receive loop.
 	var cached []*model.Object
+	var scratch []model.Value
 	if cs.cfg.Reuse {
-		cached = cs.argCaches[n.ID].Take()
+		cached, scratch = cs.argCaches[n.ID].Take()
+		if !cs.argScratch {
+			scratch = nil
+		}
 	}
-	args, roots, ops, err := serial.ReadValues(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, c.Counters)
+	args, roots, ops, err := serial.ReadValuesScratch(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, scratch, c.Counters)
 	if err != nil {
-		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err))
+		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), track)
 		return
 	}
 	start += c.Cost.CostNS(ops)
 
 	// "a new thread is created to invoke the user's code" (Figure 1).
-	go n.runMethod(cs, method, p.From, seq, start, args, roots)
+	go n.runMethod(cs, method, p.From, seq, start, args, roots, track)
 }
 
 // runMethod executes the user method, returns the cached argument
 // graphs to the call site, and ships the reply (or a bare ack when the
 // call site ignores the return value). A panic in user code is
 // converted into a remote-exception reply carrying the callee's stack.
-func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object) {
+func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track bool) {
 	c := n.cluster
 	call := &Call{Node: n, From: from, Site: cs, start: start}
 	var rets []model.Value
@@ -153,9 +187,14 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		return nil
 	}()
 	// Escape analysis proved the argument graphs dead after the call;
-	// stash them for the next invocation of this site.
+	// stash them (and, when every reference is covered by the proof,
+	// the argument slice itself) for the next invocation of this site.
 	if cs.cfg.Reuse {
-		cs.argCaches[n.ID].Put(roots)
+		var scratch []model.Value
+		if cs.argScratch {
+			scratch = args
+		}
+		cs.argCaches[n.ID].Put(roots, scratch)
 	}
 	// The reply leaves no earlier than the invocation's own progress
 	// (start + the CPU time the method reported) and no earlier than
@@ -163,11 +202,11 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	// the latter.
 	done := call.start + call.computed
 	if err != nil {
-		n.sendError(from, seq, done, err.Error())
+		n.sendError(from, seq, done, err.Error(), track)
 		return
 	}
 
-	m := wire.NewMessage(64)
+	m := wire.Get()
 	m.AppendByte(msgReply)
 	m.AppendInt64(seq)
 	var marshalNS int64
@@ -181,30 +220,37 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		m.AppendInt32(int32(len(rets)))
 		ops, werr := serial.WriteValues(m, rets, cs.retPlans, cs.cfg, c.Counters)
 		if werr != nil {
-			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr))
+			m.Release()
+			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track)
 			return
 		}
 		marshalNS = c.Cost.CostNS(ops)
 	}
-	n.sendReply(from, seq, done+marshalNS, m)
+	n.sendReply(from, seq, done+marshalNS, m, track)
 }
 
-// sendReply seals and ships a reply frame, and records it in the dedup
-// cache so a retransmitted call is answered without re-execution.
-func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message) {
+// sendReply seals the reply in place and ships the frame, recording a
+// private copy in the dedup cache (tracked calls only) so a
+// retransmitted call is answered without re-execution. It consumes m.
+func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message, track bool) {
 	c := n.cluster
 	c.Counters.Messages.Add(1)
 	c.Counters.WireBytes.Add(int64(m.Len()))
-	sealed := wire.Seal(m.Bytes())
-	n.dedupComplete(dedupKey{from: to, seq: seq}, sealed, ts)
-	_ = n.ep.Send(transport.Packet{To: to, TS: ts, Payload: sealed})
+	m.SealFrame()
+	frame := m.Detach()
+	if track {
+		cp := wire.GetBuf(len(frame))
+		copy(cp, frame)
+		n.dedupComplete(dedupKey{from: to, seq: seq}, cp, ts)
+	}
+	_ = n.ep.Send(transport.Packet{To: to, TS: ts, Payload: frame})
 }
 
-func (n *Node) sendError(to int, seq, floor int64, msg string) {
-	m := wire.NewMessage(32)
+func (n *Node) sendError(to int, seq, floor int64, msg string, track bool) {
+	m := wire.Get()
 	m.AppendByte(msgReply)
 	m.AppendInt64(seq)
 	m.AppendByte(replyError)
 	m.AppendString(msg)
-	n.sendReply(to, seq, floor, m)
+	n.sendReply(to, seq, floor, m, track)
 }

@@ -29,6 +29,7 @@ import (
 	"cormi/internal/simtime"
 	"cormi/internal/stats"
 	"cormi/internal/transport"
+	"cormi/internal/wire"
 )
 
 // OptLevel names the five optimization configurations evaluated in the
@@ -157,6 +158,11 @@ type Cluster struct {
 
 	policy   CallPolicy
 	dedupCap int
+	// faulty records that the interconnect can duplicate packets on its
+	// own. With a fault-free network and a non-retrying call policy,
+	// duplicate call delivery is impossible, so the callee skips dedup
+	// bookkeeping entirely on that hot path.
+	faulty bool
 
 	siteMu sync.RWMutex
 	sites  []*CallSite
@@ -232,6 +238,7 @@ func New(n int, opts ...Option) *Cluster {
 	if o.registry == nil {
 		o.registry = model.NewRegistry()
 	}
+	_, faulty := o.net.(*transport.FaultyNetwork)
 	c := &Cluster{
 		Registry: o.registry,
 		Counters: &stats.Counters{},
@@ -240,6 +247,7 @@ func New(n int, opts ...Option) *Cluster {
 		owns:     o.owns,
 		policy:   o.policy,
 		dedupCap: o.dedupCap,
+		faulty:   faulty,
 		done:     make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
@@ -337,6 +345,11 @@ type Node struct {
 	pendMu  sync.Mutex
 	pending map[int64]chan reply
 	seq     atomic.Int64
+	// chPool recycles the buffered reply channels of completed
+	// invocations (channels are pointer-shaped, so pooling them
+	// allocates nothing). A channel re-enters the pool only when it is
+	// provably empty — see abandonCall.
+	chPool sync.Pool
 
 	// The callee-side dedup/reply cache: retransmitted calls (same
 	// caller, same sequence number) must not re-execute user methods or
@@ -368,8 +381,12 @@ type dedupEntry struct {
 }
 
 type reply struct {
-	flag    byte
+	flag byte
+	// payload is the reply body (header stripped); buf is the full
+	// pooled frame backing it, which the invoker returns with
+	// wire.PutBuf once the values are deserialized.
 	payload []byte
+	buf     []byte
 	arrival int64
 	err     error
 }
@@ -407,6 +424,47 @@ func (n *Node) lookup(obj int64) (*Service, bool) {
 	return s, ok
 }
 
+// getReplyCh returns a recycled (empty) reply channel or makes one.
+func (n *Node) getReplyCh() chan reply {
+	if v := n.chPool.Get(); v != nil {
+		return v.(chan reply)
+	}
+	return make(chan reply, 1)
+}
+
+// putReplyCh recycles a reply channel the caller has proven empty.
+func (n *Node) putReplyCh(ch chan reply) { n.chPool.Put(ch) }
+
+// abandonCall cleans up after an invocation that will not consume its
+// reply (send failure, timeout, shutdown). The invariant making
+// channel recycling safe is that a reply is sent only by whoever
+// removes the pending entry, at most once per insertion:
+//
+//   - if the entry is still pending, abandonCall removes it, so no
+//     reply can ever land and the channel is empty — recycle it;
+//   - if someone else already removed it, they owe the channel exactly
+//     one send; if it has landed we consume it (frame back to the
+//     pool, channel recycled), otherwise the send may still be in
+//     flight and the channel is abandoned to the GC.
+func (n *Node) abandonCall(seq int64, ch chan reply) {
+	n.pendMu.Lock()
+	_, present := n.pending[seq]
+	if present {
+		delete(n.pending, seq)
+	}
+	n.pendMu.Unlock()
+	if present {
+		n.putReplyCh(ch)
+		return
+	}
+	select {
+	case rep := <-ch:
+		wire.PutBuf(rep.buf)
+		n.putReplyCh(ch)
+	default:
+	}
+}
+
 func (n *Node) failPending() {
 	n.pendMu.Lock()
 	defer n.pendMu.Unlock()
@@ -432,10 +490,12 @@ func (n *Node) dedupAdmit(key dedupKey) (*dedupEntry, bool) {
 	}
 	if limit := n.cluster.dedupCap; limit > 0 && len(n.dedupQ) >= limit {
 		// Evict the oldest completed entry; skip in-flight ones (their
-		// reply is still owed) unless everything is in flight.
+		// reply is still owed) unless everything is in flight. The
+		// cache owns its reply copies, so eviction recycles the frame.
 		evicted := false
 		for i, k := range n.dedupQ {
-			if n.dedup[k].done {
+			if e := n.dedup[k]; e.done {
+				wire.PutBuf(e.payload)
 				delete(n.dedup, k)
 				n.dedupQ = append(n.dedupQ[:i], n.dedupQ[i+1:]...)
 				evicted = true
@@ -452,14 +512,19 @@ func (n *Node) dedupAdmit(key dedupKey) (*dedupEntry, bool) {
 	return nil, true
 }
 
-// dedupComplete stores the call's sealed reply so later retransmits are
-// answered without re-executing the method.
+// dedupComplete stores the call's sealed reply — a private copy the
+// cache now owns — so later retransmits are answered without
+// re-executing the method. If the entry was evicted (or the call was
+// never tracked), the copy goes straight back to the frame pool.
 func (n *Node) dedupComplete(key dedupKey, payload []byte, ts int64) {
 	n.dedupMu.Lock()
 	if e, ok := n.dedup[key]; ok {
 		e.done = true
 		e.payload = payload
 		e.ts = ts
+		n.dedupMu.Unlock()
+		return
 	}
 	n.dedupMu.Unlock()
+	wire.PutBuf(payload)
 }

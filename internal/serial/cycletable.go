@@ -17,11 +17,20 @@ type writeTable struct {
 	next int32
 }
 
-// newWriteTable creates (and accounts for) a cycle table.
-func newWriteTable(c *stats.Counters, ops *simtime.OpCount) *writeTable {
+// reset prepares t for a new message (and accounts for the table the
+// serializer conceptually creates). The map is allocated once per
+// pooled writeCtx and cleared between messages, so steady-state cycle
+// tracking costs no allocation.
+func (t *writeTable) reset(c *stats.Counters, ops *simtime.OpCount) *writeTable {
 	c.CycleTables.Add(1)
 	ops.CycleTables++
-	return &writeTable{m: make(map[*model.Object]int32)}
+	if t.m == nil {
+		t.m = make(map[*model.Object]int32)
+	} else {
+		clear(t.m)
+	}
+	t.next = 0
+	return t
 }
 
 // lookupOrAdd returns the handle of o if it was already serialized, or

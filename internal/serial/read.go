@@ -22,15 +22,44 @@ const MaxWireValues = 1 << 16
 // roots slice holds the object graphs now backing each reference value
 // so the caller can stash them back into the reuse cache.
 func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg Config, cached []*model.Object, c *stats.Counters) (vals []model.Value, roots []*model.Object, ops simtime.OpCount, err error) {
+	return ReadValuesScratch(m, reg, n, plans, cfg, cached, nil, c)
+}
+
+// ReadValuesScratch is ReadValues with caller-supplied scratch storage:
+// when scratch has capacity for n values it backs the returned vals
+// slice, and when cached has exactly n slots it is recycled as the
+// returned roots slice (every slot is rewritten, so a stale graph is
+// never reported as this message's root). With both supplied — the
+// reuse-cache hot path — deserialization allocates nothing beyond
+// objects the donor graphs cannot absorb.
+func ReadValuesScratch(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg Config, cached []*model.Object, scratch []model.Value, c *stats.Counters) (vals []model.Value, roots []*model.Object, ops simtime.OpCount, err error) {
 	if n < 0 || n > MaxWireValues {
 		return nil, nil, ops, fmt.Errorf("serial: implausible value count %d", n)
 	}
 	if cfg.Mode == ModeSite && len(plans) != n {
 		return nil, nil, ops, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), n)
 	}
-	rc := &readCtx{m: m, reg: reg, c: c, ops: &ops}
-	vals = make([]model.Value, n)
-	roots = make([]*model.Object, n)
+	rc := getReadCtx(m, reg, c)
+	vals, roots, err = readBody(rc, n, plans, cfg, cached, scratch)
+	ops = rc.ops
+	putReadCtx(rc)
+	return vals, roots, ops, err
+}
+
+func readBody(rc *readCtx, n int, plans []*Plan, cfg Config, cached []*model.Object, scratch []model.Value) (vals []model.Value, roots []*model.Object, err error) {
+	m := rc.m
+	if cap(scratch) >= n {
+		vals = scratch[:n]
+	} else {
+		vals = make([]model.Value, n)
+	}
+	if len(cached) == n {
+		// Recycle the reuse-cache slot slice as the roots slice: old
+		// donors are read out below before each slot is overwritten.
+		roots = cached
+	} else {
+		roots = make([]*model.Object, n)
+	}
 	for i := 0; i < n; i++ {
 		var kind model.FieldKind
 		var np *NodePlan
@@ -45,6 +74,9 @@ func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg 
 				old = cached[i]
 			}
 		}
+		// old is captured; clear the slot so a non-ref value leaves no
+		// stale donor behind when roots aliases cached.
+		roots[i] = nil
 		switch kind {
 		case model.FInt:
 			vals[i] = model.Int(m.ReadInt64())
@@ -61,18 +93,18 @@ func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg 
 		case model.FRef:
 			o, rerr := readRef(rc, np, old)
 			if rerr != nil {
-				return nil, nil, ops, rerr
+				return nil, nil, rerr
 			}
 			vals[i] = model.Ref(o)
 			roots[i] = o
 		default:
-			return nil, nil, ops, fmt.Errorf("serial: bad value kind %d at index %d", kind, i)
+			return nil, nil, fmt.Errorf("serial: bad value kind %d at index %d", kind, i)
 		}
 	}
 	if m.Err() != nil {
-		return nil, nil, ops, m.Err()
+		return nil, nil, m.Err()
 	}
-	return vals, roots, ops, nil
+	return vals, roots, nil
 }
 
 // readRef reads one reference written by writeRef. old, when non-nil,
@@ -293,7 +325,10 @@ func readPlannedBody(rc *readCtx, np *NodePlan, old *model.Object) (*model.Objec
 		rc.register(o)
 		return o, nil
 	case model.KByteArray:
-		bs := rc.m.ReadBytes()
+		// Zero-copy view into the frame: the reuse path copies straight
+		// from the frame into the donor's array (one copy instead of
+		// two); only the allocation path materializes a private slice.
+		bs := rc.m.ReadBytesView()
 		rc.ops.Elems += int64(len(bs))
 		rc.ops.InlinedWrites++
 		if rc.takeDonor(old, np.Class) && len(old.Bytes) == len(bs) {
@@ -302,7 +337,7 @@ func readPlannedBody(rc *readCtx, np *NodePlan, old *model.Object) (*model.Objec
 			rc.register(old)
 			return old, nil
 		}
-		o := &model.Object{Class: np.Class, Bytes: bs}
+		o := &model.Object{Class: np.Class, Bytes: append([]byte(nil), bs...)}
 		rc.allocated(o)
 		rc.register(o)
 		return o, nil

@@ -19,6 +19,8 @@
 package serial
 
 import (
+	"sync"
+
 	"cormi/internal/model"
 	"cormi/internal/simtime"
 	"cormi/internal/stats"
@@ -51,26 +53,73 @@ const (
 	// or plan fallback for polymorphic references)
 )
 
-// writeCtx bundles the write-side state of one message.
+// writeCtx bundles the write-side state of one message. Contexts are
+// pooled: the embedded writeTable keeps its map across messages
+// (cleared, not reallocated), so serializing in steady state creates no
+// per-message context garbage.
 type writeCtx struct {
 	m     *wire.Message
 	c     *stats.Counters
-	ops   *simtime.OpCount
+	ops   simtime.OpCount
 	table *writeTable // nil when cycle detection is eliminated
+	wt    writeTable  // reusable backing storage for table
 }
 
-// readCtx bundles the read-side state of one message.
+var writeCtxPool = sync.Pool{New: func() any { return new(writeCtx) }}
+
+func getWriteCtx(m *wire.Message, c *stats.Counters) *writeCtx {
+	w := writeCtxPool.Get().(*writeCtx)
+	w.m, w.c = m, c
+	w.ops = simtime.OpCount{}
+	w.table = nil
+	return w
+}
+
+func putWriteCtx(w *writeCtx) {
+	w.m, w.c, w.table = nil, nil, nil
+	if w.wt.m != nil {
+		clear(w.wt.m)
+		w.wt.next = 0
+	}
+	writeCtxPool.Put(w)
+}
+
+// readCtx bundles the read-side state of one message. Contexts are
+// pooled: the handles slice and usedDonors map keep their capacity
+// across messages (entries cleared on release so no object graph is
+// pinned by the pool).
 type readCtx struct {
 	m       *wire.Message
 	reg     *model.Registry
 	c       *stats.Counters
-	ops     *simtime.OpCount
+	ops     simtime.OpCount
 	handles []*model.Object // objects in transmission order, for refHandle
 	// usedDonors guards the reuse walk: a cached graph may contain
 	// sharing (it was itself deserialized from a message with
 	// handles), so the same donor object could otherwise be offered to
 	// two distinct wire objects and collapse the new graph.
 	usedDonors map[*model.Object]bool
+}
+
+var readCtxPool = sync.Pool{New: func() any { return new(readCtx) }}
+
+func getReadCtx(m *wire.Message, reg *model.Registry, c *stats.Counters) *readCtx {
+	rc := readCtxPool.Get().(*readCtx)
+	rc.m, rc.reg, rc.c = m, reg, c
+	rc.ops = simtime.OpCount{}
+	return rc
+}
+
+func putReadCtx(rc *readCtx) {
+	rc.m, rc.reg, rc.c = nil, nil, nil
+	for i := range rc.handles {
+		rc.handles[i] = nil
+	}
+	rc.handles = rc.handles[:0]
+	if rc.usedDonors != nil {
+		clear(rc.usedDonors)
+	}
+	readCtxPool.Put(rc)
 }
 
 // takeDonor claims old as the in-place-overwrite target for one wire

@@ -487,18 +487,26 @@ func TestRandomListsRoundTripProperty(t *testing.T) {
 
 func TestReuseCacheGuard(t *testing.T) {
 	var rc ReuseCache
-	if rc.Take() != nil {
+	if s, v := rc.Take(); s != nil || v != nil {
 		t.Fatal("fresh cache not empty")
 	}
 	w := newWorld()
 	roots := []*model.Object{model.New(w.leaf)}
-	rc.Put(roots)
-	got := rc.Take()
-	if len(got) != 1 || got[0] != roots[0] {
+	vals := make([]model.Value, 1)
+	rc.Put(roots, vals)
+	got, gotVals := rc.Take()
+	if len(got) != 1 || got[0] != roots[0] || len(gotVals) != 1 {
 		t.Fatal("Put/Take round trip")
 	}
 	// Figure 13 guard: a second concurrent Take sees nil.
-	if rc.Take() != nil {
+	if s, v := rc.Take(); s != nil || v != nil {
 		t.Fatal("double Take should see nil")
+	}
+	// A nil argument must not clobber a slot another holder returned.
+	rc.Put(roots, nil)
+	rc.Put(nil, vals)
+	got, gotVals = rc.Take()
+	if len(got) != 1 || len(gotVals) != 1 {
+		t.Fatal("nil Put argument clobbered the other slot")
 	}
 }

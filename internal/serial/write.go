@@ -50,21 +50,28 @@ func WriteValues(m *wire.Message, vals []model.Value, plans []*Plan, cfg Config,
 	if cfg.Mode == ModeSite && len(plans) != len(vals) {
 		return simtime.OpCount{}, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), len(vals))
 	}
-	w := &writeCtx{m: m, c: c, ops: &simtime.OpCount{}}
+	w := getWriteCtx(m, c)
+	err := writeBody(w, vals, plans, cfg)
+	ops := w.ops
+	putWriteCtx(w)
+	return ops, err
+}
+
+func writeBody(w *writeCtx, vals []model.Value, plans []*Plan, cfg Config) error {
 	if cfg.Mode == ModeClass && len(vals) > 0 {
 		// Generic marshaler entry: protocol dispatch the call-site
 		// specific stubs compile away (§3.1).
 		w.ops.StubOps++
 	}
 	if needTable(vals, plans, cfg) {
-		w.table = newWriteTable(c, w.ops)
+		w.table = w.wt.reset(w.c, &w.ops)
 	}
 	for i, v := range vals {
 		if cfg.Mode == ModeClass {
 			// Self-describing: kind byte per value plus per-object
 			// class IDs below.
-			m.AppendByte(byte(v.Kind))
-			c.TypeBytes.Add(1)
+			w.m.AppendByte(byte(v.Kind))
+			w.c.TypeBytes.Add(1)
 			if v.Kind == model.FString {
 				w.dynString()
 			}
@@ -72,12 +79,12 @@ func WriteValues(m *wire.Message, vals []model.Value, plans []*Plan, cfg Config,
 		} else {
 			p := plans[i]
 			if p.Kind != v.Kind {
-				return *w.ops, fmt.Errorf("serial: plan %s expects %v, got %v", p.Site, p.Kind, v.Kind)
+				return fmt.Errorf("serial: plan %s expects %v, got %v", p.Site, p.Kind, v.Kind)
 			}
 			writeValue(w, v, p.Root)
 		}
 	}
-	return *w.ops, nil
+	return nil
 }
 
 // writeValue writes one value; np is the call-site object plan for
@@ -110,7 +117,7 @@ func writeRef(w *writeCtx, o *model.Object, np *NodePlan) {
 		return
 	}
 	if w.table != nil {
-		if h, found := w.table.lookupOrAdd(o, w.c, w.ops); found {
+		if h, found := w.table.lookupOrAdd(o, w.c, &w.ops); found {
 			w.m.AppendByte(refHandle)
 			w.m.AppendInt32(h)
 			return

@@ -10,28 +10,39 @@ import (
 	"sync/atomic"
 )
 
+// PaddedInt64 is an atomic.Int64 padded out to a full cache line, so
+// two hot counters updated from different nodes' goroutines never
+// share a line and ping-pong it between cores (false sharing). The
+// embedded methods (Add, Load, Store) are used directly.
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // Counters accumulates runtime events. All fields are safe for
 // concurrent use. A Counters value must not be copied after first use.
+// The counters bumped on every serialized field or message are padded
+// (PaddedInt64); rarely-touched fault counters stay unpadded.
 type Counters struct {
-	RemoteRPCs atomic.Int64 // RMIs on objects on another node
+	RemoteRPCs PaddedInt64 // RMIs on objects on another node
 	LocalRPCs  atomic.Int64 // RMIs that happened to be node-local
 
-	Messages  atomic.Int64 // network messages sent
-	WireBytes atomic.Int64 // payload bytes put on the wire
-	TypeBytes atomic.Int64 // bytes of per-object type information
-	TypeOps   atomic.Int64 // type descriptor writes/parses avoided by site mode
+	Messages  PaddedInt64 // network messages sent
+	WireBytes PaddedInt64 // payload bytes put on the wire
+	TypeBytes PaddedInt64 // bytes of per-object type information
+	TypeOps   PaddedInt64 // type descriptor writes/parses avoided by site mode
 
-	SerializerCalls atomic.Int64 // dynamic (per-class) serializer invocations
-	InlinedWrites   atomic.Int64 // field writes inlined by call-site plans
-	IntrospectOps   atomic.Int64 // introspection steps (class mode layout walks)
+	SerializerCalls PaddedInt64 // dynamic (per-class) serializer invocations
+	InlinedWrites   PaddedInt64 // field writes inlined by call-site plans
+	IntrospectOps   PaddedInt64 // introspection steps (class mode layout walks)
 
-	CycleTables  atomic.Int64 // cycle hash-tables created
-	CycleLookups atomic.Int64 // cycle hash-table lookups/inserts
+	CycleTables  PaddedInt64 // cycle hash-tables created
+	CycleLookups PaddedInt64 // cycle hash-table lookups/inserts
 
-	AllocObjects atomic.Int64 // objects allocated by deserialization
-	AllocBytes   atomic.Int64 // bytes allocated by deserialization
-	ReusedObjs   atomic.Int64 // objects reused instead of allocated
-	ReusedBytes  atomic.Int64 // bytes reused instead of allocated
+	AllocObjects PaddedInt64 // objects allocated by deserialization
+	AllocBytes   PaddedInt64 // bytes allocated by deserialization
+	ReusedObjs   PaddedInt64 // objects reused instead of allocated
+	ReusedBytes  PaddedInt64 // bytes reused instead of allocated
 
 	AcksOnly atomic.Int64 // returns collapsed to a bare acknowledgment
 

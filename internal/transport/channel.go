@@ -9,6 +9,12 @@ import (
 // per node. It is the default interconnect for single-process cluster
 // simulations and for tests.
 //
+// Buffer ownership: Send hands the payload buffer through to the
+// receiver zero-copy — the sender gives up ownership (Endpoint.Send
+// contract) and the receiver releases the buffer to the wire pool when
+// done. Packets dropped at shutdown simply fall to the garbage
+// collector.
+//
 // Shutdown protocol: Close never closes the inbox channels (a send
 // blocked on a full inbox would race with the close); instead it
 // closes a broadcast `done` channel that every blocked Send and Recv

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cormi/internal/wire"
 )
 
 // FaultRates configures the per-packet fault probabilities of one
@@ -206,7 +208,11 @@ func (e *faultyEndpoint) Send(p Packet) error {
 	s := rng{state: uint64(f.cfg.Seed) ^ uint64(e.id)<<40 ^ uint64(p.To)<<24 ^ n}
 
 	if s.chance(r.Corrupt) && len(p.Payload) > 0 {
-		b := append([]byte(nil), p.Payload...)
+		// Flip a byte in a private copy; the original is abandoned to
+		// the GC (it may not be pooled — under the ownership protocol we
+		// own it, but fault paths favor safety over recycling).
+		b := wire.GetBuf(len(p.Payload))
+		copy(b, p.Payload)
 		b[int(s.next()%uint64(len(b)))] ^= byte(1 + s.next()%255)
 		p.Payload = b
 		f.Stats.Corrupted.Add(1)
@@ -223,6 +229,18 @@ func (e *faultyEndpoint) Send(p Packet) error {
 	}
 	dup := s.chance(r.Dup)
 	reorder := s.chance(r.Reorder)
+
+	// A duplicate needs its own buffer: each inner Send takes ownership
+	// of the payload it is given (it may recycle it once written), so
+	// the same slice must never be handed down twice.
+	var dupPkt *Packet
+	if dup {
+		b := wire.GetBuf(len(p.Payload))
+		copy(b, p.Payload)
+		dp := p
+		dp.Payload = b
+		dupPkt = &dp
+	}
 
 	// Release any packet held back on this link: it goes out after the
 	// current one, which is the reordering.
@@ -248,9 +266,9 @@ func (e *faultyEndpoint) Send(p Packet) error {
 	if err := e.inner.Send(p); err != nil {
 		return err
 	}
-	if dup {
+	if dupPkt != nil {
 		f.Stats.Duplicated.Add(1)
-		if err := e.inner.Send(p); err != nil {
+		if err := e.inner.Send(*dupPkt); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -10,8 +11,14 @@ import (
 )
 
 // TCPNetwork connects nodes over TCP with length-prefixed frames. Each
-// frame carries a 16-byte header (sender id, virtual timestamp)
-// followed by the payload. Connections are dialed lazily and cached.
+// frame carries a 16-byte header (length, sender id, virtual
+// timestamp) followed by the payload. Connections are dialed lazily
+// and cached.
+//
+// Buffer ownership: Send writes the payload to the socket and then
+// releases it to the wire pool (the sender gave up ownership per the
+// Endpoint.Send contract); the read loop reads payloads into pooled
+// buffers, so steady-state traffic allocates nothing on either side.
 type TCPNetwork struct {
 	addrs     []string
 	listeners []net.Listener
@@ -113,24 +120,48 @@ func (e *tcpEndpoint) acceptLoop(l net.Listener) {
 	}
 }
 
+// tcpMetaSize is the per-frame metadata after the length prefix:
+// sender id (uint32) and virtual timestamp (uint64).
+const tcpMetaSize = 12
+
 func (e *tcpEndpoint) readLoop(c net.Conn) {
+	// The 16-byte header (length + metadata) lands in a stack buffer;
+	// only the payload is read into a pooled buffer, so recycling loses
+	// no capacity to header prefixes.
+	var hdr [4 + tcpMetaSize]byte
 	for {
-		frame, err := wire.ReadFrame(c)
-		if err != nil {
+		if _, err := io.ReadFull(c, hdr[:4]); err != nil {
 			return
 		}
-		if len(frame) < 12 {
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n > wire.MaxFrameSize {
+			return
+		}
+		if n < tcpMetaSize {
+			// Runt frame: discard its bytes to stay in sync.
+			if _, err := io.CopyN(io.Discard, c, int64(n)); err != nil {
+				return
+			}
 			continue
 		}
+		if _, err := io.ReadFull(c, hdr[4:]); err != nil {
+			return
+		}
+		payload := wire.GetBuf(int(n) - tcpMetaSize)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			wire.PutBuf(payload)
+			return
+		}
 		p := Packet{
-			From:    int(int32(binary.LittleEndian.Uint32(frame))),
-			TS:      int64(binary.LittleEndian.Uint64(frame[4:])),
+			From:    int(int32(binary.LittleEndian.Uint32(hdr[4:]))),
+			TS:      int64(binary.LittleEndian.Uint64(hdr[8:])),
 			To:      e.id,
-			Payload: frame[12:],
+			Payload: payload,
 		}
 		select {
 		case e.inbox <- p:
 		case <-e.done:
+			wire.PutBuf(payload)
 			return
 		}
 	}
@@ -162,18 +193,33 @@ func (e *tcpEndpoint) Send(p Packet) error {
 		}
 		e.mu.Unlock()
 	}
-	frame := make([]byte, 12+len(p.Payload))
-	binary.LittleEndian.PutUint32(frame, uint32(e.id))
-	binary.LittleEndian.PutUint64(frame[4:], uint64(p.TS))
-	copy(frame[12:], p.Payload)
+	if tcpMetaSize+len(p.Payload) > wire.MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", tcpMetaSize+len(p.Payload))
+	}
+	// Header from the stack, payload straight from the caller's buffer:
+	// no frame assembly copy, no allocation.
+	var hdr [4 + tcpMetaSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(tcpMetaSize+len(p.Payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.id))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.TS))
 
 	// Serialize writes per connection.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
-	return wire.WriteFrame(c, frame)
+	_, err := c.Write(hdr[:])
+	if err == nil {
+		_, err = c.Write(p.Payload)
+	}
+	e.mu.Unlock()
+	if err == nil {
+		// The bytes are on the wire and the sender gave up ownership:
+		// recycle the buffer.
+		wire.PutBuf(p.Payload)
+	}
+	return err
 }
 
 func (e *tcpEndpoint) Recv() (Packet, bool) {

@@ -13,6 +13,10 @@ var ErrClosed = errors.New("transport: network closed")
 // Packet is one message between nodes. TS is the sender's virtual send
 // timestamp in nanoseconds; the receiver syncs its clock with
 // TS + wire delay to preserve causality in the virtual-time model.
+//
+// Payload ownership follows the wire-pool protocol (wire.GetBuf /
+// wire.PutBuf, DESIGN.md §8): Send takes ownership of Payload, Recv
+// hands ownership to the receiver.
 type Packet struct {
 	From, To int
 	TS       int64
@@ -22,9 +26,17 @@ type Packet struct {
 // Endpoint is a node's attachment to the network.
 type Endpoint interface {
 	// Send delivers a packet; it must be safe for concurrent use.
+	// Send takes ownership of p.Payload: once it returns — success or
+	// error — the caller must neither read nor write the buffer again.
+	// A sender that needs the bytes later (retransmits) keeps its own
+	// copy. Implementations either hand the buffer through to the
+	// receiver unchanged (ChannelNetwork) or copy it onto the wire and
+	// release it to the frame pool (TCPNetwork).
 	Send(p Packet) error
 	// Recv blocks for the next packet; ok is false once the endpoint
-	// is closed and drained.
+	// is closed and drained. The receiver owns p.Payload and should
+	// return it with wire.PutBuf once nothing references it; data that
+	// must outlive the frame is copied out, never aliased.
 	Recv() (p Packet, ok bool)
 	// Close shuts down the endpoint's receive side.
 	Close() error

@@ -33,6 +33,18 @@ func Seal(payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(payload, sum)
 }
 
+// SealFrame seals the message in place: the CRC32-C trailer is
+// appended to the message's own buffer (which a pooled message has
+// spare capacity for after its first use, so no frame copy happens in
+// steady state) and the sealed frame is returned. After sealing, the
+// message must not be appended to again; the usual sender sequence is
+// SealFrame, Detach, Endpoint.Send.
+func (m *Message) SealFrame() []byte {
+	sum := crc32.Checksum(m.buf, crcTable)
+	m.buf = binary.LittleEndian.AppendUint32(m.buf, sum)
+	return m.buf
+}
+
 // Unseal verifies a sealed payload's trailer and returns the payload
 // with the trailer stripped. It returns ErrChecksum on mismatch and on
 // payloads too short to carry a trailer.

@@ -62,6 +62,42 @@ func (m *Message) Rewind() {
 	m.err = nil
 }
 
+// ResetTo repoints the message at b for reading without allocating —
+// the receive-loop alternative to FromBytes. The message does not take
+// ownership of b; callers that pool their frame buffers must not
+// release b while reads (or views, see ReadBytesView) are outstanding.
+func (m *Message) ResetTo(b []byte) {
+	m.buf = b
+	m.pos = 0
+	m.err = nil
+}
+
+// ensure appends n uninitialized bytes in one grow step and returns
+// the freshly appended region for the caller to fill.
+func (m *Message) ensure(n int) []byte {
+	off := len(m.buf)
+	if cap(m.buf)-off < n {
+		grown := make([]byte, off, growCap(off+n, cap(m.buf)))
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	m.buf = m.buf[:off+n]
+	return m.buf[off:]
+}
+
+// growCap doubles capacity until it covers need, so repeated bulk
+// appends stay amortized-constant like the builtin append.
+func growCap(need, cur int) int {
+	c := cur * 2
+	if c < need {
+		c = need
+	}
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
 // --- appends -------------------------------------------------------
 
 // AppendByte appends a single byte.
@@ -105,19 +141,26 @@ func (m *Message) AppendBytes(b []byte) {
 
 // AppendFloat64Slice appends a length-prefixed double array, the bulk
 // transfer primitive of the paper's array marshaler
-// (append_double_array in Figure 13).
+// (append_double_array in Figure 13). The buffer grows at most once —
+// length prefix plus payload in a single reservation — and the encode
+// loop is a straight PutUint64 sweep over the reserved region.
 func (m *Message) AppendFloat64Slice(vs []float64) {
-	m.AppendInt32(int32(len(vs)))
-	for _, v := range vs {
-		m.buf = binary.LittleEndian.AppendUint64(m.buf, math.Float64bits(v))
+	dst := m.ensure(4 + 8*len(vs))
+	binary.LittleEndian.PutUint32(dst, uint32(int32(len(vs))))
+	dst = dst[4:]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
 	}
 }
 
-// AppendInt64Slice appends a length-prefixed int64 array.
+// AppendInt64Slice appends a length-prefixed int64 array (single grow,
+// see AppendFloat64Slice).
 func (m *Message) AppendInt64Slice(vs []int64) {
-	m.AppendInt32(int32(len(vs)))
-	for _, v := range vs {
-		m.buf = binary.LittleEndian.AppendUint64(m.buf, uint64(v))
+	dst := m.ensure(4 + 8*len(vs))
+	binary.LittleEndian.PutUint32(dst, uint32(int32(len(vs))))
+	dst = dst[4:]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(v))
 	}
 }
 
@@ -193,8 +236,26 @@ func (m *Message) ReadString() string {
 }
 
 // ReadBytes reads a length-prefixed byte slice (copied out of the
-// message buffer).
+// message buffer, so the result is safe to keep after the frame is
+// released).
 func (m *Message) ReadBytes() []byte {
+	v := m.ReadBytesView()
+	if v == nil {
+		return nil
+	}
+	b := make([]byte, len(v))
+	copy(b, v)
+	return b
+}
+
+// ReadBytesView reads a length-prefixed byte slice as a zero-copy view
+// into the message buffer. The view is valid only while the frame is
+// alive: on pooled receive paths the buffer is recycled once the
+// message has been dispatched, so callers must either finish with the
+// view before then or copy it (ReadBytes). Use it on internal paths
+// where the message provably outlives the read — e.g. deserializers
+// that copy the payload into an existing object in place.
+func (m *Message) ReadBytesView() []byte {
 	n := int(m.ReadInt32())
 	if n < 0 || !m.need(n) {
 		if m.err == nil {
@@ -202,10 +263,9 @@ func (m *Message) ReadBytes() []byte {
 		}
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, m.buf[m.pos:])
+	v := m.buf[m.pos : m.pos+n : m.pos+n]
 	m.pos += n
-	return b
+	return v
 }
 
 // ReadFloat64SliceInto reads a length-prefixed double array into dst if

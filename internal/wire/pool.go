@@ -1,0 +1,121 @@
+package wire
+
+import "sync"
+
+// Buffer and message pooling for the zero-allocation RMI hot path.
+//
+// Ownership protocol (see also transport.Endpoint and DESIGN.md §8):
+//
+//   - A writer obtains a pooled message with Get, fills it, seals it in
+//     place (SealFrame) and Detaches the buffer into the transport; the
+//     struct returns to the pool immediately, the buffer travels.
+//   - Endpoint.Send takes ownership of the payload: after Send returns
+//     the sender must neither read nor write the buffer. A sender that
+//     needs the bytes again (retransmits) keeps its own private copy.
+//   - The receiver of a packet owns the payload and returns it with
+//     PutBuf once nothing references it anymore. Anything that must
+//     outlive the frame (reply caches, user object graphs) is copied
+//     out, never aliased.
+//
+// Two pools cooperate: msgPool recycles Message structs (a Detach
+// returns the struct bufless; Get re-attaches a buffer), and bufFree
+// recycles the byte buffers themselves. The buffer free list is a
+// channel rather than a sync.Pool because a []byte stored in an
+// interface box allocates its slice header on every Put — a channel of
+// slices keeps Put/Get allocation free, which is the whole point.
+
+const (
+	// defaultBufCap sizes fresh buffers; pooled buffers keep whatever
+	// capacity they grew to, so steady-state traffic stops growing.
+	defaultBufCap = 512
+	// maxPooledBufCap keeps one huge frame from pinning megabytes in
+	// the free list forever.
+	maxPooledBufCap = 1 << 20
+	// bufFreeDepth bounds the free list; overflow falls to the GC.
+	bufFreeDepth = 1024
+)
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+var bufFree = make(chan []byte, bufFreeDepth)
+
+// GetBuf returns a buffer of length n from the frame pool (allocating
+// only when the pool is empty or too small).
+func GetBuf(n int) []byte {
+	var b []byte
+	select {
+	case b = <-bufFree:
+	default:
+	}
+	if cap(b) < n {
+		c := n
+		if c < defaultBufCap {
+			c = defaultBufCap
+		}
+		b = make([]byte, n, c)
+		return b
+	}
+	return b[:n]
+}
+
+// PutBuf returns a frame buffer to the pool. The caller must own b
+// exclusively: no other goroutine may hold a view into it. PutBuf(nil)
+// is a no-op, as is putting a buffer too large to retain.
+func PutBuf(b []byte) {
+	if b == nil || cap(b) > maxPooledBufCap {
+		return
+	}
+	select {
+	case bufFree <- b[:0]:
+	default:
+	}
+}
+
+// Get returns a pooled message ready for appending. Release it with
+// Release (buffer kept) or Detach (buffer handed off to the transport).
+func Get() *Message {
+	m := msgPool.Get().(*Message)
+	if m.buf == nil {
+		m.buf = GetBuf(0)
+	}
+	m.Reset()
+	return m
+}
+
+// Release returns the message and its buffer to the pool. The caller
+// must not touch m afterwards.
+func (m *Message) Release() {
+	m.Reset()
+	msgPool.Put(m)
+}
+
+// Detach hands the caller ownership of the encoded buffer and returns
+// the bufless struct to the message pool. The typical sender sequence
+// is SealFrame, Detach, Endpoint.Send.
+func (m *Message) Detach() []byte {
+	b := m.buf
+	m.buf = nil
+	m.pos = 0
+	m.err = nil
+	msgPool.Put(m)
+	return b
+}
+
+// GetReader returns a pooled message wrapping b for reading. It does
+// NOT take ownership of b; ReleaseReader returns only the struct.
+func GetReader(b []byte) *Message {
+	m := msgPool.Get().(*Message)
+	m.buf = b
+	m.pos = 0
+	m.err = nil
+	return m
+}
+
+// ReleaseReader detaches the wrapped buffer (which the caller still
+// owns) and returns the struct to the message pool.
+func (m *Message) ReleaseReader() {
+	m.buf = nil
+	m.pos = 0
+	m.err = nil
+	msgPool.Put(m)
+}
