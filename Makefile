@@ -1,15 +1,24 @@
-# Tier-1 verification gate: static checks, a full build, and the test
+# Tier-1 verification gate: static checks, a full build, the test
 # suite under the race detector (the fault-tolerance layer is
-# concurrency-heavy; -race is part of its acceptance criteria).
-.PHONY: verify test bench verify-perf
+# concurrency-heavy; -race is part of its acceptance criteria), and an
+# end-to-end smoke of the observability endpoints.
+.PHONY: verify test bench verify-perf obs-smoke
 
 verify:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+	$(MAKE) obs-smoke
 
 test:
 	go test ./...
+
+# End-to-end observability smoke: run a traced TCP cluster with the
+# introspection server on an ephemeral port and have the process probe
+# its own /healthz, /metrics and /trace (valid Chrome-trace JSON with
+# events) before exiting. No curl or fixed port needed.
+obs-smoke:
+	go run ./cmd/rminode -sends 5 -obs-smoke
 
 # Regenerate the human-readable Go benchmarks and the machine-readable
 # perf baseline consumed by benchdiff (commit BENCH_rmibench.json when

@@ -13,43 +13,63 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cormi/internal/harness"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the CLI
+// against fixture files. Exit codes: 0 clean, 1 regressions, 2 usage
+// or unreadable/malformed input.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	opts := harness.DefaultDiffOpts()
-	flag.Float64Var(&opts.NsTolerance, "ns-tol", opts.NsTolerance, "allowed fractional ns/op growth")
-	flag.Float64Var(&opts.AllocEpsilon, "alloc-eps", opts.AllocEpsilon, "allowed absolute allocs/op growth")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json fresh.json")
-		os.Exit(2)
+	fs.Float64Var(&opts.NsTolerance, "ns-tol", opts.NsTolerance, "allowed fractional ns/op growth")
+	fs.Float64Var(&opts.AllocEpsilon, "alloc-eps", opts.AllocEpsilon, "allowed absolute allocs/op growth")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json fresh.json")
+		return 2
 	}
 
-	load := func(path string) *harness.BenchReport {
+	load := func(path string) (*harness.BenchReport, bool) {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return nil, false
 		}
 		r, err := harness.ParseBenchReport(data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchdiff: %s: %v\n", path, err)
+			return nil, false
 		}
-		return r
+		return r, true
 	}
-	base, cur := load(flag.Arg(0)), load(flag.Arg(1))
+	base, ok := load(fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	cur, ok := load(fs.Arg(1))
+	if !ok {
+		return 2
+	}
 
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), flag.Arg(0))
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), fs.Arg(0))
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "  %s\n", r)
+			fmt.Fprintf(stderr, "  %s\n", r)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchdiff: %d rows OK (ns/op within %.0f%%, allocs/op within +%.2f)\n",
+	fmt.Fprintf(stdout, "benchdiff: %d rows OK (ns/op within %.0f%%, allocs/op within +%.2f)\n",
 		len(base.Rows), 100*opts.NsTolerance, opts.AllocEpsilon)
+	return 0
 }

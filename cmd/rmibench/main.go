@@ -13,6 +13,14 @@
 //	                       # perf report (ns/op, B/op, allocs/op per
 //	                       # workload × optimization level) consumed by
 //	                       # cmd/benchdiff / `make verify-perf`
+//	rmibench -trace out.json   # traced micro pass: writes a
+//	                       # Perfetto-loadable Chrome trace to out.json
+//	                       # and prints per-phase p50/p95/p99 latencies
+//	rmibench -faults -trace out.json   # chaos with the flight recorder
+//	                       # attached: a timeout/partition auto-dumps
+//	                       # the recent spans to out.json
+//	rmibench -json -trace out.json     # perf report with a
+//	                       # phase_latency section, plus the trace file
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"os"
 
 	"cormi/internal/harness"
+	"cormi/internal/trace"
 )
 
 func main() {
@@ -34,10 +43,13 @@ func main() {
 	corrupt := flag.Float64("corrupt", -1, "chaos: payload corruption probability")
 	seed := flag.Int64("seed", 42, "chaos: fault injection seed")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable perf report (for benchdiff) and exit")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file and print per-phase latency quantiles")
 	flag.Parse()
 
 	if *jsonOut {
-		report, err := harness.RunBench(harness.DefaultBenchSpec())
+		spec := harness.DefaultBenchSpec()
+		spec.TracePhases = *traceOut != ""
+		report, err := harness.RunBench(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rmibench: bench run failed: %v\n", err)
 			os.Exit(1)
@@ -48,6 +60,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(data))
+		if *traceOut != "" {
+			// The report already folded the quantiles in; the trace
+			// file still wants the raw spans of a traced pass.
+			writeTraceFile(*traceOut)
+		}
 		return
 	}
 
@@ -65,14 +82,41 @@ func main() {
 		if *corrupt >= 0 {
 			spec.Faults.Corrupt = *corrupt
 		}
+		var traceFile *os.File
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			// One dump max: several concatenated JSON documents would
+			// not load as a single Chrome trace.
+			spec.Tracer = trace.New(trace.Config{RingSize: 4096, FailureDump: f, MaxDumps: 1})
+		}
 		report, err := harness.Chaos(harness.TestScale(), spec)
 		if report != nil {
 			fmt.Println(report.Format())
+		}
+		if traceFile != nil {
+			if err == nil {
+				// No failure dump fired — export the live flight
+				// recorder instead so the file is always loadable.
+				_ = trace.WriteChrome(traceFile, spec.Tracer.Recent(), "chaos")
+			}
+			traceFile.Close()
+			fmt.Println(harness.FormatPhases(spec.Tracer.PhaseStats()))
+			fmt.Printf("chrome trace written to %s (load in Perfetto / chrome://tracing)\n", *traceOut)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rmibench: chaos run failed: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *traceOut != "" {
+		writeTraceFile(*traceOut)
 		return
 	}
 
@@ -142,4 +186,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rmibench: no table %d\n", *table)
 		os.Exit(2)
 	}
+}
+
+// writeTraceFile runs the traced micro pass, writes the Chrome trace,
+// and prints the per-phase latency summary.
+func writeTraceFile(path string) {
+	rep, err := harness.RunTraced(harness.DefaultBenchSpec())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmibench: traced run failed: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := trace.WriteChrome(f, rep.Spans, "rmibench"); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "rmibench: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Print(harness.FormatPhases(rep.Phases))
+	fmt.Printf("chrome trace written to %s (load in Perfetto / chrome://tracing)\n", path)
 }

@@ -10,22 +10,38 @@
 // a live demonstration that recovery works over a real network stack,
 // not just the in-process transport.
 //
+// With -obs ADDR the node serves live introspection endpoints while it
+// runs: Prometheus metrics on /metrics, the flight recorder as
+// Perfetto-loadable Chrome-trace JSON on /trace, phase quantiles on
+// /trace/stats, Go profiling on /debug/pprof/, and a liveness probe on
+// /healthz. -obs-smoke probes those endpoints from inside the process
+// after the run and exits nonzero if any is broken (the `make
+// obs-smoke` gate, no curl needed).
+//
 // Usage:
 //
 //	rminode [-nodes 2] [-sends 50]
 //	rminode -drop 0.1 -dup 0.05        # chaos over real TCP
+//	rminode -obs :9090                 # live /metrics, /trace, /debug/pprof
+//	rminode -obs-smoke                 # self-check the obs endpoints
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"cormi/internal/apps/appkit"
 	"cormi/internal/core"
 	"cormi/internal/model"
+	"cormi/internal/obs"
 	"cormi/internal/rmi"
+	"cormi/internal/trace"
 	"cormi/internal/transport"
 )
 
@@ -53,6 +69,8 @@ func main() {
 	reorder := flag.Float64("reorder", 0, "packet reordering probability")
 	corrupt := flag.Float64("corrupt", 0, "payload corruption probability")
 	seed := flag.Int64("seed", 42, "fault injection seed")
+	obsAddr := flag.String("obs", "", "serve observability endpoints (/metrics, /trace, /debug/pprof, /healthz) on this address, e.g. :9090")
+	obsSmoke := flag.Bool("obs-smoke", false, "probe the -obs endpoints after the run and exit nonzero on failure")
 	flag.Parse()
 
 	faultCfg := transport.FaultConfig{
@@ -62,12 +80,33 @@ func main() {
 		},
 	}
 
+	// The tracer and the HTTP surface outlive the per-level clusters:
+	// one flight recorder accumulates spans across the whole run.
+	var tracer *trace.Tracer
+	var server *obs.Server
+	if *obsSmoke && *obsAddr == "" {
+		*obsAddr = "127.0.0.1:0"
+	}
+	if *obsAddr != "" {
+		tracer = trace.New(trace.Config{RingSize: 4096})
+		var err error
+		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer})
+		if err != nil {
+			fail(err)
+		}
+		defer server.Close()
+		fmt.Printf("observability endpoints on http://%s (/metrics /trace /trace/stats /debug/pprof /healthz)\n", server.Addr())
+	}
+
 	for _, level := range rmi.AllLevels {
 		nw, err := transport.NewTCPNetworkLocal(*nodes)
 		if err != nil {
 			fail(err)
 		}
 		opts := []rmi.Option{rmi.WithNetwork(nw)}
+		if tracer != nil {
+			opts = append(opts, rmi.WithTracer(tracer))
+		}
 		if faultCfg.Enabled() {
 			opts = append(opts,
 				rmi.WithFaults(faultCfg),
@@ -128,6 +167,71 @@ func main() {
 		fmt.Println()
 		cluster.Close()
 	}
+
+	if *obsSmoke {
+		if err := smokeObs("http://" + server.Addr()); err != nil {
+			fail(fmt.Errorf("obs smoke: %w", err))
+		}
+		fmt.Println("obs smoke OK: /healthz, /metrics and /trace all served valid payloads")
+	}
+}
+
+// smokeObs validates the observability surface end to end: liveness,
+// Prometheus exposition with the expected series, and a /trace payload
+// that parses as a Chrome trace with events from the run.
+func smokeObs(base string) error {
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+
+	body, err := get("/healthz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "ok") {
+		return fmt.Errorf("/healthz said %q", body)
+	}
+
+	body, err = get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		"cormi_trace_spans_started_total",
+		"cormi_wire_buf_outstanding",
+		"cormi_phase_latency_ns_bucket",
+	} {
+		if !strings.Contains(body, series) {
+			return fmt.Errorf("/metrics missing series %s", series)
+		}
+	}
+
+	body, err = get("/trace")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("/trace is not valid Chrome-trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("/trace has no events after %d traced levels", len(rmi.AllLevels))
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -18,6 +18,7 @@ import (
 	"cormi/internal/apps/superopt"
 	"cormi/internal/apps/webserver"
 	"cormi/internal/rmi"
+	"cormi/internal/trace"
 )
 
 // BenchRow is one workload × optimization level measurement.
@@ -38,6 +39,12 @@ type BenchRow struct {
 type BenchReport struct {
 	GoVersion string     `json:"go_version"`
 	Rows      []BenchRow `json:"rows"`
+	// Phases holds per-(call site, phase) latency quantiles from an
+	// extra traced pass (BenchSpec.TracePhases). The untraced perf rows
+	// above are measured first, so the committed ns/op baselines never
+	// include tracing overhead; omitempty keeps old baselines
+	// comparable.
+	Phases []trace.PhaseStat `json:"phase_latency,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -122,6 +129,9 @@ type BenchSpec struct {
 	WebRequests int // page retrievals per level for Table 7
 	SuperoptN   int // exhaustive searches per level for Table 5
 	Repeats     int // best-of-N repetitions per row
+	// TracePhases adds a traced micro pass after the untraced perf
+	// rows and folds its per-phase latency quantiles into the report.
+	TracePhases bool
 }
 
 // DefaultBenchSpec keeps the full matrix under a few seconds.
@@ -178,5 +188,53 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 			return nil, err
 		}
 	}
+	if spec.TracePhases {
+		tr, err := RunTraced(spec)
+		if err != nil {
+			return nil, err
+		}
+		report.Phases = tr.Phases
+	}
 	return report, nil
+}
+
+// TraceReport is the outcome of a traced benchmark pass: the latency
+// quantiles per (call site, phase) plus the flight recorder's spans,
+// exportable as Chrome-trace JSON with trace.WriteChrome.
+type TraceReport struct {
+	Phases []trace.PhaseStat
+	Spans  []trace.SpanRecord
+}
+
+// RunTraced runs the micro workloads once per optimization level with
+// a tracer attached — the observability counterpart of RunBench. It is
+// deliberately separate from the perf rows: tracing adds clock reads
+// per phase, so traced latencies are reported, never compared against
+// the untraced ns/op baselines.
+func RunTraced(spec BenchSpec) (*TraceReport, error) {
+	tr := trace.New(trace.Config{RingSize: 4096})
+	for _, level := range rmi.AllLevels {
+		if _, err := micro.RunLinkedList(level, 100, spec.MicroIters, rmi.WithTracer(tr)); err != nil {
+			return nil, fmt.Errorf("harness: traced linkedlist @ %s: %w", level, err)
+		}
+		if _, err := micro.RunArray(level, 16, spec.MicroIters, rmi.WithTracer(tr)); err != nil {
+			return nil, fmt.Errorf("harness: traced array @ %s: %w", level, err)
+		}
+	}
+	return &TraceReport{Phases: tr.PhaseStats(), Spans: tr.Recent()}, nil
+}
+
+// FormatPhases renders phase quantiles as an aligned summary table.
+func FormatPhases(phases []trace.PhaseStat) string {
+	if len(phases) == 0 {
+		return "no traced phases recorded\n"
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-28s %-18s %9s %10s %10s %10s %10s\n",
+		"site", "phase", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns")
+	for _, p := range phases {
+		b = fmt.Appendf(b, "%-28s %-18s %9d %10.0f %10.0f %10.0f %10.0f\n",
+			p.Site, p.Phase, p.Count, p.MeanNS, p.P50NS, p.P95NS, p.P99NS)
+	}
+	return string(b)
 }

@@ -15,6 +15,7 @@ import (
 	"cormi/internal/apps/micro"
 	"cormi/internal/rmi"
 	"cormi/internal/stats"
+	"cormi/internal/trace"
 	"cormi/internal/transport"
 )
 
@@ -23,6 +24,10 @@ import (
 type ChaosSpec struct {
 	Faults transport.FaultConfig
 	Policy rmi.CallPolicy
+	// Tracer, when non-nil, is attached to every cluster in the run:
+	// spans land in its flight recorder and a timeout or partition
+	// auto-dumps the recent history to its configured FailureDump sink.
+	Tracer *trace.Tracer
 }
 
 // DefaultChaosSpec returns the fault mix used by the chaos test and
@@ -106,7 +111,11 @@ func (r *ChaosReport) Format() string {
 // suggests.
 func chaosOpts(spec ChaosSpec, row int) []rmi.Option {
 	spec.Faults.Seed += int64(row) * 7919
-	return []rmi.Option{rmi.WithFaults(spec.Faults), rmi.WithCallPolicy(spec.Policy)}
+	opts := []rmi.Option{rmi.WithFaults(spec.Faults), rmi.WithCallPolicy(spec.Policy)}
+	if spec.Tracer != nil {
+		opts = append(opts, rmi.WithTracer(spec.Tracer))
+	}
+	return opts
 }
 
 // Chaos runs the LU kernel and both micro benchmarks over a faulty

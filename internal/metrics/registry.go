@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Family is a named set of histogram series distinguished by a
+// pre-rendered Prometheus label string (e.g.
+// `site="Foo.send.1",phase="serialize"`). Series creation takes the
+// family lock; recording into an existing series is lock-free.
+type Family struct {
+	Name string
+	Help string
+
+	mu     sync.RWMutex
+	series map[string]*Histogram
+}
+
+// Series returns the histogram for the given label string, creating it
+// on first use.
+func (f *Family) Series(labels string) *Histogram {
+	f.mu.RLock()
+	h, ok := f.series[labels]
+	f.mu.RUnlock()
+	if ok {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok = f.series[labels]; ok {
+		return h
+	}
+	h = &Histogram{}
+	f.series[labels] = h
+	return h
+}
+
+// each calls fn for every series in label order.
+func (f *Family) each(fn func(labels string, h *Histogram)) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.mu.RLock()
+		h := f.series[k]
+		f.mu.RUnlock()
+		fn(k, h)
+	}
+}
+
+// gauge is a registered callback metric.
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry holds histogram families and gauges and renders them in
+// Prometheus text exposition format.
+type Registry struct {
+	mu     sync.RWMutex
+	fams   map[string]*Family
+	order  []string
+	gauges []gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*Family)}
+}
+
+// Family returns the named histogram family, creating it on first use.
+func (r *Registry) Family(name, help string) *Family {
+	r.mu.RLock()
+	f, ok := r.fams[name]
+	r.mu.RUnlock()
+	if ok {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok = r.fams[name]; ok {
+		return f
+	}
+	f = &Family{Name: name, Help: help, series: make(map[string]*Histogram)}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// RegisterGauge registers a callback gauge evaluated at exposition
+// time (pool sizes, ring occupancy, ...).
+func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gauge{name: name, help: help, fn: fn})
+}
+
+// WritePrometheus renders every gauge and histogram family in
+// Prometheus text exposition format (version 0.0.4). Histogram buckets
+// are cumulative with an explicit +Inf bucket; empty buckets below the
+// highest populated one are emitted so scrape targets see a stable
+// series set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	gauges := append([]gauge(nil), r.gauges...)
+	order := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+
+	for _, g := range gauges {
+		if g.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.fn()); err != nil {
+			return err
+		}
+	}
+	for _, name := range order {
+		r.mu.RLock()
+		f := r.fams[name]
+		r.mu.RUnlock()
+		if f == nil {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", f.Name); err != nil {
+			return err
+		}
+		var werr error
+		f.each(func(labels string, h *Histogram) {
+			if werr != nil {
+				return
+			}
+			werr = writeHistogram(w, f.Name, labels, h.Snapshot())
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one series as cumulative le-buckets + sum +
+// count. The label string is pre-rendered; `le` is appended to it.
+func writeHistogram(w io.Writer, name, labels string, s HistSnapshot) error {
+	top := 0
+	for i, c := range s.Buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n",
+			name, labels, sep, BucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Total); err != nil {
+		return err
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Total)
+	return err
+}

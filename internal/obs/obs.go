@@ -1,0 +1,202 @@
+// Package obs is the RMI runtime's live introspection surface: an
+// HTTP server exposing Prometheus-text metrics (/metrics), the flight
+// recorder as Chrome-trace JSON (/trace, loadable in Perfetto), phase
+// latency quantiles as JSON (/trace/stats), the standard Go profiler
+// endpoints (/debug/pprof/), and a liveness probe (/healthz).
+//
+// The server is strictly a reader: it snapshots counters, histograms
+// and the span ring on each request and never touches the RMI hot
+// path. It runs on its own mux so mounting it cannot collide with an
+// application's default mux.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"reflect"
+	"strings"
+	"time"
+
+	"cormi/internal/metrics"
+	"cormi/internal/stats"
+	"cormi/internal/trace"
+	"cormi/internal/wire"
+)
+
+// Options selects what the server exposes. Any field may be nil; the
+// corresponding metrics are simply absent.
+type Options struct {
+	// Tracer supplies /trace, /trace/stats and the per-phase latency
+	// histograms on /metrics.
+	Tracer *trace.Tracer
+	// Counters supplies the cormi_* counter gauges on /metrics.
+	Counters *stats.Counters
+	// Registry receives the gauges and is rendered by /metrics. When
+	// nil, the tracer's registry is used (so phase histograms and
+	// gauges share one exposition); a private registry is created if
+	// there is no tracer either.
+	Registry *metrics.Registry
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds the handler without binding a socket — use Serve
+// for the common bind-and-go path, or mount Handler() yourself.
+func NewServer(opts Options) *Server {
+	reg := opts.Registry
+	if reg == nil && opts.Tracer != nil {
+		reg = opts.Tracer.Registry()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+
+	if opts.Counters != nil {
+		registerCounterGauges(reg, opts.Counters)
+	}
+	registerPoolGauges(reg)
+	if opts.Tracer != nil {
+		registerTracerGauges(reg, opts.Tracer)
+	}
+
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "tracing off: no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, opts.Tracer.Recent(), "live")
+	})
+	s.mux.HandleFunc("/trace/stats", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "tracing off: no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		st := opts.Tracer.PhaseStats()
+		if st == nil {
+			st = []trace.PhaseStat{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's mux for embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// introspection endpoints in a background goroutine until Close.
+func Serve(addr string, opts Options) (*Server, error) {
+	s := NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// registerCounterGauges walks stats.Counters with reflection and
+// registers one gauge per counter field, named
+// cormi_counter_<snake_case_field>. Walking the struct (instead of a
+// hand-written list) means a counter added to stats shows up on
+// /metrics automatically — the same completeness property the stats
+// package's reflection tests enforce for Snapshot.
+func registerCounterGauges(reg *metrics.Registry, c *stats.Counters) {
+	cv := reflect.ValueOf(c).Elem()
+	ct := cv.Type()
+	for i := 0; i < ct.NumField(); i++ {
+		f := cv.Field(i)
+		load := f.Addr().MethodByName("Load")
+		if !load.IsValid() {
+			continue
+		}
+		name := "cormi_counter_" + snakeCase(ct.Field(i).Name)
+		reg.RegisterGauge(name, "runtime counter "+ct.Field(i).Name,
+			func() float64 { return float64(load.Call(nil)[0].Int()) })
+	}
+}
+
+// registerPoolGauges exposes the wire frame pool's outstanding-buffer
+// balance, the leak witness for the buffer ownership protocol.
+func registerPoolGauges(reg *metrics.Registry) {
+	reg.RegisterGauge("cormi_wire_buf_gets_total", "lifetime wire.GetBuf calls",
+		func() float64 { return float64(wire.Stats().Gets) })
+	reg.RegisterGauge("cormi_wire_buf_puts_total", "lifetime wire.PutBuf calls",
+		func() float64 { return float64(wire.Stats().Puts) })
+	reg.RegisterGauge("cormi_wire_buf_outstanding", "frame-pool buffers currently owned by callers (gets - puts)",
+		func() float64 { return float64(wire.Stats().Outstanding) })
+}
+
+func registerTracerGauges(reg *metrics.Registry, tr *trace.Tracer) {
+	reg.RegisterGauge("cormi_trace_spans_started_total", "trace spans opened",
+		func() float64 { return float64(tr.SpansStarted()) })
+	reg.RegisterGauge("cormi_trace_failures_total", "failed spans closed",
+		func() float64 { return float64(tr.Failures()) })
+}
+
+// snakeCase converts a Go exported field name to snake_case, starting
+// a new word only after a lowercase rune so acronym runs stay whole
+// (RemoteRPCs → remote_rpcs, DupSuppressed → dup_suppressed).
+func snakeCase(s string) string {
+	var b strings.Builder
+	prevLower := false
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if prevLower {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevLower = false
+		} else {
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return b.String()
+}

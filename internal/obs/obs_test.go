@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cormi/internal/model"
+	"cormi/internal/rmi"
+	"cormi/internal/serial"
+	"cormi/internal/stats"
+	"cormi/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// startTracedCluster runs one traced RMI so every endpoint has data.
+func startTracedCluster(t *testing.T) (*rmi.Cluster, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New(trace.Config{RingSize: 64})
+	c := rmi.New(2, rmi.WithTracer(tr))
+	t.Cleanup(c.Close)
+	ref := c.Node(1).Export(&rmi.Service{
+		Name: "Echo",
+		Methods: map[string]rmi.Method{
+			"echo": func(call *rmi.Call, args []model.Value) []model.Value {
+				return []model.Value{args[0]}
+			},
+		},
+	})
+	cs := c.MustNewCallSite(rmi.LevelSite, rmi.SiteSpec{
+		Name: "obs.echo.1", Method: "echo",
+		ArgPlans: []*serial.Plan{serial.PrimitivePlan("obs.echo.1", model.FInt)},
+		RetPlans: []*serial.Plan{serial.PrimitivePlan("obs.echo.1", model.FInt)},
+	})
+	if _, err := cs.Invoke(c.Node(0), ref, []model.Value{model.Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+func TestServeEndpoints(t *testing.T) {
+	c, tr := startTracedCluster(t)
+	s, err := Serve("127.0.0.1:0", Options{Tracer: tr, Counters: c.Counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"cormi_counter_remote_rpcs 1",
+		"cormi_counter_messages",
+		"cormi_counter_retries",
+		"cormi_counter_timeouts",
+		"cormi_counter_dup_suppressed",
+		"cormi_counter_corrupt_dropped",
+		"cormi_counter_stale_replies",
+		"cormi_wire_buf_outstanding",
+		"cormi_trace_spans_started_total 2",
+		"cormi_phase_latency_ns_bucket",
+		`site="obs.echo.1",phase="execute"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var chromeDoc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chromeDoc); err != nil {
+		t.Fatalf("/trace is not Chrome-trace JSON: %v", err)
+	}
+	if len(chromeDoc.TraceEvents) == 0 {
+		t.Fatal("/trace has no events after a traced call")
+	}
+
+	code, body = get(t, base+"/trace/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/stats status %d", code)
+	}
+	var phases []trace.PhaseStat
+	if err := json.Unmarshal([]byte(body), &phases); err != nil {
+		t.Fatalf("/trace/stats is not JSON: %v", err)
+	}
+	var sawExec bool
+	for _, p := range phases {
+		if p.Phase == "execute" && p.Site == "obs.echo.1" && p.P99NS > 0 {
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Error("/trace/stats missing execute quantiles")
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServeWithoutTracer(t *testing.T) {
+	var c stats.Counters
+	c.RemoteRPCs.Add(3)
+	s, err := Serve("127.0.0.1:0", Options{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "cormi_counter_remote_rpcs 3") {
+		t.Fatalf("/metrics without tracer = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace without tracer = %d, want 404", code)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	for in, want := range map[string]string{
+		"RemoteRPCs":     "remote_rpcs",
+		"LocalRPCs":      "local_rpcs",
+		"WireBytes":      "wire_bytes",
+		"DupSuppressed":  "dup_suppressed",
+		"AcksOnly":       "acks_only",
+		"TypeOps":        "type_ops",
+		"CorruptDropped": "corrupt_dropped",
+	} {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCounterGaugesCoverEveryField(t *testing.T) {
+	// The reflective gauge registration must expose every Counters
+	// field; pair with the stats completeness tests, this keeps the
+	// whole pipeline (counter → snapshot → /metrics) closed under
+	// field additions.
+	var c stats.Counters
+	s, err := Serve("127.0.0.1:0", Options{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	_, body := get(t, "http://"+s.Addr()+"/metrics")
+	for _, name := range []string{
+		"remote_rpcs", "local_rpcs", "messages", "wire_bytes", "type_bytes",
+		"type_ops", "serializer_calls", "inlined_writes", "introspect_ops",
+		"cycle_tables", "cycle_lookups", "alloc_objects", "alloc_bytes",
+		"reused_objs", "reused_bytes", "acks_only", "retries", "timeouts",
+		"dup_suppressed", "corrupt_dropped", "stale_replies",
+	} {
+		if !strings.Contains(body, "cormi_counter_"+name) {
+			t.Errorf("/metrics missing cormi_counter_%s", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"cormi/internal/model"
 	"cormi/internal/serial"
+	"cormi/internal/trace"
 	"cormi/internal/transport"
 	"cormi/internal/wire"
 )
@@ -140,6 +141,11 @@ const (
 	// only these calls need a cached reply for duplicate suppression on
 	// a fault-free interconnect.
 	callFlagRetryable = 1 << 0
+	// callFlagTraced marks a call whose invoker opened a trace span.
+	// The callee mirrors it with a callee-side span, and both call and
+	// reply packets carry wall-clock timestamps so each transit leg is
+	// measured end to end.
+	callFlagTraced = 1 << 1
 )
 
 // Reply flags.
@@ -273,21 +279,31 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	c.Counters.RemoteRPCs.Add(1)
 
 	attempts := pol.attempts()
+	seq := n.seq.Add(1)
+	// With tracing off this is the observability layer's entire cost on
+	// the caller: StartCaller on a nil tracer returns a nil span whose
+	// methods are no-ops.
+	sp := c.tracer.StartCaller(cs.Name, cs.Method, n.ID, ref.Node, seq)
+	sp.BeginPhase(trace.PhaseSerialize)
 	m := wire.Get()
 	m.AppendByte(msgCall)
 	var flags byte
 	if attempts > 1 {
 		flags |= callFlagRetryable
 	}
+	if sp != nil {
+		flags |= callFlagTraced
+	}
 	m.AppendByte(flags)
 	m.AppendInt32(cs.ID)
 	m.AppendInt64(ref.Obj)
-	seq := n.seq.Add(1)
 	m.AppendInt64(seq)
 	m.AppendInt32(int32(len(args)))
 	ops, err := serial.WriteValues(m, args, cs.argPlans, cs.cfg, c.Counters)
 	if err != nil {
 		m.Release()
+		sp.Fail("marshal: " + err.Error())
+		sp.End()
 		return nil, err
 	}
 	n.Clock.Advance(c.Cost.CostNS(ops))
@@ -305,6 +321,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		master = append([]byte(nil), sealed...)
 	}
 	frame := m.Detach()
+	sp.EndPhase(trace.PhaseSerialize)
 
 	ch := n.getReplyCh()
 	n.pendMu.Lock()
@@ -315,11 +332,24 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	for attempt := 1; ; attempt++ {
 		c.Counters.Messages.Add(1)
 		c.Counters.WireBytes.Add(wireLen)
-		err := n.ep.Send(transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: frame})
+		pkt := transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: frame}
+		if sp != nil {
+			pkt.Wall = trace.Now()
+		}
+		sp.BeginPhase(trace.PhaseSend)
+		err := n.ep.Send(pkt)
 		frame = nil // ownership passed to the transport, success or error
+		sp.EndPhase(trace.PhaseSend)
 		if err != nil {
 			n.abandonCall(seq, ch)
+			sp.Fail("send: " + err.Error())
+			sp.End()
 			return nil, fmt.Errorf("rmi: send: %w", err)
+		}
+		if attempt == 1 {
+			// The wait phase spans the whole round trip as the caller
+			// experiences it, retransmits and backoff included.
+			sp.BeginPhase(trace.PhaseWaitReply)
 		}
 
 		if pol.Timeout <= 0 {
@@ -329,6 +359,8 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 			case rep = <-ch:
 			case <-c.done:
 				n.abandonCall(seq, ch)
+				sp.Fail("cluster closed")
+				sp.End()
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 			}
 		} else {
@@ -339,6 +371,8 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 			case <-c.done:
 				timer.Stop()
 				n.abandonCall(seq, ch)
+				sp.Fail("cluster closed")
+				sp.End()
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 			case <-timer.C:
 				if attempt < attempts {
@@ -347,10 +381,13 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 						case <-time.After(d):
 						case <-c.done:
 							n.abandonCall(seq, ch)
+							sp.Fail("cluster closed")
+							sp.End()
 							return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 						}
 					}
 					c.Counters.Retries.Add(1)
+					sp.AddRetry()
 					f := wire.GetBuf(len(master))
 					copy(f, master)
 					frame = f
@@ -358,10 +395,19 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 				}
 				c.Counters.Timeouts.Add(1)
 				n.abandonCall(seq, ch)
+				sp.EndPhase(trace.PhaseWaitReply)
+				// Close the span before dumping: the flight recorder must
+				// already hold the failing call when the dump is written.
 				if pr, ok := c.net.(transport.PartitionReporter); ok &&
 					(pr.Partitioned(n.ID, ref.Node) || pr.Partitioned(ref.Node, n.ID)) {
+					sp.Fail("partitioned")
+					sp.End()
+					c.tracer.DumpFailure("partitioned")
 					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, ref.Node, ErrPartitioned)
 				}
+				sp.Fail("timeout")
+				sp.End()
+				c.tracer.DumpFailure("timeout")
 				return nil, fmt.Errorf("rmi: %s to node %d after %d attempts of %v: %w",
 					cs.Name, ref.Node, attempts, pol.Timeout, ErrTimeout)
 			}
@@ -372,8 +418,14 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	// pending entry before sending: the channel is empty and no further
 	// send can occur — recycle it.
 	n.putReplyCh(ch)
+	sp.EndPhase(trace.PhaseWaitReply)
+	if sp != nil && rep.sentWall != 0 {
+		sp.SetPhase(trace.PhaseReplyTransit, rep.sentWall, rep.recvWall-rep.sentWall)
+	}
 	if rep.err != nil {
 		wire.PutBuf(rep.buf)
+		sp.Fail(rep.err.Error())
+		sp.End()
 		return nil, rep.err
 	}
 	n.Clock.Sync(rep.arrival)
@@ -382,14 +434,18 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	switch rep.flag {
 	case replyAck:
 		wire.PutBuf(rep.buf)
+		sp.End()
 		return nil, nil
 	case replyError:
 		rm := wire.GetReader(rep.payload)
 		msg := rm.ReadString()
 		rm.ReleaseReader()
 		wire.PutBuf(rep.buf)
+		sp.Fail("remote error: " + msg)
+		sp.End()
 		return nil, fmt.Errorf("rmi: remote error from %s: %s", cs.Name, msg)
 	case replyValues:
+		sp.BeginPhase(trace.PhaseReplyDeserialize)
 		rm := wire.GetReader(rep.payload)
 		nvals := int(rm.ReadInt32())
 		var cached []*model.Object
@@ -403,7 +459,10 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		vals, roots, ops, err := serial.ReadValuesScratch(rm, c.Registry, nvals, cs.retPlans, cs.cfg, cached, scratch, c.Counters)
 		rm.ReleaseReader()
 		wire.PutBuf(rep.buf)
+		sp.EndPhase(trace.PhaseReplyDeserialize)
 		if err != nil {
+			sp.Fail("unmarshal reply: " + err.Error())
+			sp.End()
 			return nil, err
 		}
 		n.Clock.Advance(c.Cost.CostNS(ops))
@@ -414,9 +473,12 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 			}
 			cs.retCaches[n.ID].Put(roots, scratch)
 		}
+		sp.End()
 		return vals, nil
 	default:
 		wire.PutBuf(rep.buf)
+		sp.Fail(fmt.Sprintf("bad reply flag %d", rep.flag))
+		sp.End()
 		return nil, fmt.Errorf("rmi: bad reply flag %d", rep.flag)
 	}
 }

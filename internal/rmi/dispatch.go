@@ -7,6 +7,7 @@ import (
 
 	"cormi/internal/model"
 	"cormi/internal/serial"
+	"cormi/internal/trace"
 	"cormi/internal/transport"
 	"cormi/internal/wire"
 )
@@ -67,7 +68,10 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			}
 			n.pendMu.Unlock()
 			if ok {
-				ch <- reply{flag: flag, payload: body, buf: frame, arrival: arrival}
+				ch <- reply{
+					flag: flag, payload: body, buf: frame, arrival: arrival,
+					sentWall: p.Wall, recvWall: p.RecvWall,
+				}
 			} else {
 				// Duplicate or post-timeout reply; the call is gone.
 				n.cluster.Counters.StaleReplies.Add(1)
@@ -102,8 +106,11 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// duplicate is impossible, so the map insert, entry and reply-copy
 	// costs are skipped entirely.
 	track := flags&callFlagRetryable != 0 || c.faulty
+	// traced mirrors the caller's span with a callee-side one; header
+	// and lookup errors reply before a span exists (nil span = no-op).
+	traced := c.tracer != nil && flags&callFlagTraced != 0
 	if m.Err() != nil {
-		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), track)
+		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), track, nil)
 		return
 	}
 
@@ -129,20 +136,37 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		}
 	}
 
+	var lookupStart int64
+	if traced {
+		lookupStart = trace.Now()
+	}
 	cs, ok := c.site(siteID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID), track)
+		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID), track, nil)
 		return
 	}
 	svc, ok := n.lookup(objID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID), track)
+		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID), track, nil)
 		return
 	}
 	method, ok := svc.Methods[cs.Method]
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method), track)
+		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method), track, nil)
 		return
+	}
+
+	var sp *trace.Span
+	if traced {
+		// The span starts at the packet's receive timestamp so the
+		// transit and plan-lookup phases measured before it existed still
+		// fall inside it.
+		sp = c.tracer.StartCallee(cs.Name, cs.Method, p.From, n.ID, seq, p.RecvWall)
+		sp.SetPhase(trace.PhasePlanLookup, lookupStart, trace.Now()-lookupStart)
+		if p.Wall != 0 {
+			sp.SetPhase(trace.PhaseTransit, p.Wall, p.RecvWall-p.Wall)
+		}
+		sp.SetVirtualTransit(arrival - p.TS)
 	}
 
 	// The unmarshaler: take the cached argument graphs (Figure 13's
@@ -158,25 +182,30 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 			scratch = nil
 		}
 	}
+	sp.BeginPhase(trace.PhaseDeserialize)
 	args, roots, ops, err := serial.ReadValuesScratch(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, scratch, c.Counters)
+	sp.EndPhase(trace.PhaseDeserialize)
 	if err != nil {
-		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), track)
+		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), track, sp)
 		return
 	}
 	start += c.Cost.CostNS(ops)
 
 	// "a new thread is created to invoke the user's code" (Figure 1).
-	go n.runMethod(cs, method, p.From, seq, start, args, roots, track)
+	sp.BeginPhase(trace.PhaseDispatch)
+	go n.runMethod(cs, method, p.From, seq, start, args, roots, track, sp)
 }
 
 // runMethod executes the user method, returns the cached argument
 // graphs to the call site, and ships the reply (or a bare ack when the
 // call site ignores the return value). A panic in user code is
 // converted into a remote-exception reply carrying the callee's stack.
-func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track bool) {
+func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track bool, sp *trace.Span) {
 	c := n.cluster
+	sp.EndPhase(trace.PhaseDispatch)
 	call := &Call{Node: n, From: from, Site: cs, start: start}
 	var rets []model.Value
+	sp.BeginPhase(trace.PhaseExecute)
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -186,6 +215,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		rets = method(call, args)
 		return nil
 	}()
+	sp.EndPhase(trace.PhaseExecute)
 	// Escape analysis proved the argument graphs dead after the call;
 	// stash them (and, when every reference is covered by the proof,
 	// the argument slice itself) for the next invocation of this site.
@@ -202,10 +232,14 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	// the latter.
 	done := call.start + call.computed
 	if err != nil {
-		n.sendError(from, seq, done, err.Error(), track)
+		// A panic is one of the flight recorder's auto-dump triggers;
+		// sendError closes the span first, so the dump includes it.
+		n.sendError(from, seq, done, err.Error(), track, sp)
+		c.tracer.DumpFailure("panic")
 		return
 	}
 
+	sp.BeginPhase(trace.PhaseReplySerialize)
 	m := wire.Get()
 	m.AppendByte(msgReply)
 	m.AppendInt64(seq)
@@ -221,36 +255,46 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		ops, werr := serial.WriteValues(m, rets, cs.retPlans, cs.cfg, c.Counters)
 		if werr != nil {
 			m.Release()
-			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track)
+			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track, sp)
 			return
 		}
 		marshalNS = c.Cost.CostNS(ops)
 	}
-	n.sendReply(from, seq, done+marshalNS, m, track)
+	n.sendReply(from, seq, done+marshalNS, m, track, sp)
 }
 
 // sendReply seals the reply in place and ships the frame, recording a
 // private copy in the dedup cache (tracked calls only) so a
-// retransmitted call is answered without re-execution. It consumes m.
-func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message, track bool) {
+// retransmitted call is answered without re-execution. It consumes m,
+// and closes the callee span (when one exists) after the reply is on
+// the wire: every sp handed in must have PhaseReplySerialize begun.
+func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message, track bool, sp *trace.Span) {
 	c := n.cluster
 	c.Counters.Messages.Add(1)
 	c.Counters.WireBytes.Add(int64(m.Len()))
 	m.SealFrame()
+	sp.EndPhase(trace.PhaseReplySerialize)
 	frame := m.Detach()
 	if track {
 		cp := wire.GetBuf(len(frame))
 		copy(cp, frame)
 		n.dedupComplete(dedupKey{from: to, seq: seq}, cp, ts)
 	}
-	_ = n.ep.Send(transport.Packet{To: to, TS: ts, Payload: frame})
+	pkt := transport.Packet{To: to, TS: ts, Payload: frame}
+	if sp != nil {
+		pkt.Wall = trace.Now()
+	}
+	_ = n.ep.Send(pkt)
+	sp.End()
 }
 
-func (n *Node) sendError(to int, seq, floor int64, msg string, track bool) {
+func (n *Node) sendError(to int, seq, floor int64, msg string, track bool, sp *trace.Span) {
+	sp.Fail(msg)
+	sp.BeginPhase(trace.PhaseReplySerialize)
 	m := wire.Get()
 	m.AppendByte(msgReply)
 	m.AppendInt64(seq)
 	m.AppendByte(replyError)
 	m.AppendString(msg)
-	n.sendReply(to, seq, floor, m, track)
+	n.sendReply(to, seq, floor, m, track, sp)
 }

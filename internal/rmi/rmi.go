@@ -28,6 +28,7 @@ import (
 	"cormi/internal/model"
 	"cormi/internal/simtime"
 	"cormi/internal/stats"
+	"cormi/internal/trace"
 	"cormi/internal/transport"
 	"cormi/internal/wire"
 )
@@ -164,6 +165,13 @@ type Cluster struct {
 	// bookkeeping entirely on that hot path.
 	faulty bool
 
+	// tracer is the observability layer (nil = tracing off, the
+	// default). With a tracer attached, every remote invocation opens
+	// pooled caller/callee spans keyed by (from, seq) and the flight
+	// recorder auto-dumps on timeouts, partitions and panics. Disabled
+	// tracing costs one nil check per call and zero allocations.
+	tracer *trace.Tracer
+
 	siteMu sync.RWMutex
 	sites  []*CallSite
 
@@ -184,6 +192,7 @@ type clusterOpts struct {
 	policy   CallPolicy
 	faults   *transport.FaultConfig
 	dedupCap int
+	tracer   *trace.Tracer
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -221,6 +230,14 @@ func WithDedupCap(n int) Option {
 	return func(o *clusterOpts) { o.dedupCap = n }
 }
 
+// WithTracer attaches an observability tracer: per-call spans, phase
+// latency histograms and the flight recorder (internal/trace). A nil
+// tracer leaves tracing off. Tracers are cluster-agnostic and may be
+// shared across clusters; call sites are keyed by name.
+func WithTracer(t *trace.Tracer) Option {
+	return func(o *clusterOpts) { o.tracer = t }
+}
+
 // New creates a cluster of n nodes (default: in-process channel
 // network) and starts their receive loops.
 func New(n int, opts ...Option) *Cluster {
@@ -248,6 +265,7 @@ func New(n int, opts ...Option) *Cluster {
 		policy:   o.policy,
 		dedupCap: o.dedupCap,
 		faulty:   faulty,
+		tracer:   o.tracer,
 		done:     make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
@@ -274,6 +292,10 @@ func (c *Cluster) Network() transport.Network { return c.net }
 
 // CallPolicy returns the cluster-wide default invocation policy.
 func (c *Cluster) CallPolicy() CallPolicy { return c.policy }
+
+// Tracer returns the attached observability tracer (nil when tracing
+// is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // Done is closed when the cluster shuts down. Long-blocking service
 // methods (barriers, queues) select on it so Close can never leave a
@@ -388,7 +410,11 @@ type reply struct {
 	payload []byte
 	buf     []byte
 	arrival int64
-	err     error
+	// sentWall/recvWall are the reply packet's wall-clock transit
+	// timestamps (zero when the reply was untraced); the invoker's span
+	// derives PhaseReplyTransit from them.
+	sentWall, recvWall int64
+	err                error
 }
 
 func newNode(c *Cluster, id int) *Node {

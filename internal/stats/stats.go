@@ -153,8 +153,10 @@ func (s Snapshot) NewMBytes() float64 { return float64(s.AllocBytes) / (1 << 20)
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"rpcs(local=%d remote=%d) msgs=%d wire=%dB type=%dB serCalls=%d inlined=%d cycleTables=%d cycleLookups=%d alloc(%d objs, %.2f MB) reused=%d",
+		"rpcs(local=%d remote=%d) msgs=%d wire=%dB type=%dB serCalls=%d inlined=%d cycleTables=%d cycleLookups=%d alloc(%d objs, %.2f MB) reused=%d "+
+			"faults(retries=%d timeouts=%d dupSuppressed=%d corruptDropped=%d staleReplies=%d)",
 		s.LocalRPCs, s.RemoteRPCs, s.Messages, s.WireBytes, s.TypeBytes,
 		s.SerializerCalls, s.InlinedWrites, s.CycleTables, s.CycleLookups,
-		s.AllocObjects, s.NewMBytes(), s.ReusedObjs)
+		s.AllocObjects, s.NewMBytes(), s.ReusedObjs,
+		s.Retries, s.Timeouts, s.DupSuppressed, s.CorruptDropped, s.StaleReplies)
 }

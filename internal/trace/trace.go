@@ -1,0 +1,431 @@
+// Package trace is the RMI runtime's flight-recorder tracing layer:
+// pooled per-call spans keyed by the existing (from, seq) call id,
+// covering every lifecycle phase of a remote invocation, a bounded
+// ring buffer retaining the most recent spans (the flight recorder),
+// per-(site, phase) latency histograms, and a Chrome trace-event
+// exporter (chrome.go) whose output loads directly into Perfetto.
+//
+// The layer is zero-overhead when off: a cluster without a Tracer pays
+// one nil check per call and allocates nothing extra. With a Tracer
+// attached, spans are recycled through a sync.Pool and phase recording
+// is plain stores into the span, so steady-state tracing allocates
+// nothing either; only span close touches shared state (lock-free
+// histogram adds plus one short ring-buffer critical section).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cormi/internal/metrics"
+)
+
+// Phase enumerates the lifecycle phases of one remote invocation. The
+// caller records Serialize, Send, WaitReply, ReplyTransit and
+// ReplyDeserialize; the callee records PlanLookup, Transit, Dispatch,
+// Deserialize, Execute and ReplySerialize. Transit phases are wall
+// time derived from the transport's packet timestamps; the virtual
+// (cost-model) transit rides the span's VirtualTransitNS field.
+type Phase uint8
+
+const (
+	// PhasePlanLookup is the callee's call-site/object/method
+	// resolution before unmarshaling.
+	PhasePlanLookup Phase = iota
+	// PhaseSerialize is the caller-side argument marshal (plus frame
+	// seal).
+	PhaseSerialize
+	// PhaseSend is the transport send call on the caller.
+	PhaseSend
+	// PhaseTransit is the wall-clock call transit, caller send to
+	// callee receive (includes transport queueing).
+	PhaseTransit
+	// PhaseDispatch is the callee-side gap between the receive loop
+	// launching the method goroutine and the method starting (the Go
+	// scheduler's dispatch queue).
+	PhaseDispatch
+	// PhaseDeserialize is the callee-side argument unmarshal,
+	// including the §3.3 reuse-cache overwrite path.
+	PhaseDeserialize
+	// PhaseExecute is the user method body.
+	PhaseExecute
+	// PhaseReplySerialize is the callee-side reply marshal.
+	PhaseReplySerialize
+	// PhaseReplyTransit is the wall-clock reply transit, callee send
+	// to caller receive.
+	PhaseReplyTransit
+	// PhaseWaitReply is the caller's wait between (first) send and
+	// reply receipt — the full round trip as the caller experiences it,
+	// including every retransmit and backoff.
+	PhaseWaitReply
+	// PhaseReplyDeserialize is the caller-side reply unmarshal.
+	PhaseReplyDeserialize
+
+	// NumPhases is the phase count; valid phases are < NumPhases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"plan_lookup", "serialize", "send", "transit", "dispatch",
+	"deserialize", "execute", "reply_serialize", "reply_transit",
+	"wait_reply", "reply_deserialize",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Kind distinguishes the two halves of a traced call.
+type Kind uint8
+
+const (
+	// KindCaller marks the invoking side's span.
+	KindCaller Kind = iota
+	// KindCallee marks the serving side's span.
+	KindCallee
+)
+
+func (k Kind) String() string {
+	if k == KindCaller {
+		return "caller"
+	}
+	return "callee"
+}
+
+// Now returns the wall clock used by all spans and packet timestamps:
+// nanoseconds since the Unix epoch.
+func Now() int64 { return time.Now().UnixNano() }
+
+// SpanRecord is the immutable value copy of a closed span that the
+// flight recorder retains and the exporters read. Both halves of one
+// call share (From, Seq) — the RMI runtime's call id.
+type SpanRecord struct {
+	Site   string
+	Method string
+	From   int // invoking node
+	To     int // serving node
+	Seq    int64
+	Kind   Kind
+	Start  int64 // wall ns (trace.Now)
+	End    int64
+	Err    string
+	// Retries is the number of retransmissions this call needed
+	// (caller span only).
+	Retries int
+	// VirtualTransitNS is the cost-model (virtual time) transit of the
+	// call message (callee span only).
+	VirtualTransitNS int64
+	// PhaseStart/PhaseDur hold each phase's wall start and duration;
+	// a zero duration means the phase was not recorded by this half.
+	PhaseStart [NumPhases]int64
+	PhaseDur   [NumPhases]int64
+}
+
+// Span is one in-flight traced call half. Spans are pooled: after End
+// the span must not be touched. All methods are nil-receiver safe so
+// instrumentation sites need a single `tracer != nil` gate, not one
+// per phase.
+type Span struct {
+	SpanRecord
+	t *Tracer
+}
+
+// BeginPhase stamps the phase's start time.
+func (s *Span) BeginPhase(p Phase) {
+	if s == nil {
+		return
+	}
+	s.PhaseStart[p] = Now()
+}
+
+// EndPhase stamps the phase's duration from its BeginPhase.
+func (s *Span) EndPhase(p Phase) {
+	if s == nil {
+		return
+	}
+	s.PhaseDur[p] = Now() - s.PhaseStart[p]
+}
+
+// SetPhase records a phase from an externally measured (start,
+// duration) pair — used for transit phases derived from packet
+// timestamps.
+func (s *Span) SetPhase(p Phase, start, dur int64) {
+	if s == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	s.PhaseStart[p] = start
+	s.PhaseDur[p] = dur
+}
+
+// AddRetry counts one retransmission.
+func (s *Span) AddRetry() {
+	if s == nil {
+		return
+	}
+	s.Retries++
+}
+
+// SetVirtualTransit records the cost-model transit time.
+func (s *Span) SetVirtualTransit(ns int64) {
+	if s == nil {
+		return
+	}
+	s.VirtualTransitNS = ns
+}
+
+// Fail marks the span failed. The failure classes the flight recorder
+// auto-dumps on (timeout, partition, panic) additionally call
+// Tracer.DumpFailure.
+func (s *Span) Fail(msg string) {
+	if s == nil {
+		return
+	}
+	s.Err = msg
+}
+
+// End closes the span: phase durations feed the per-(site, phase)
+// histograms, the record enters the flight-recorder ring, and the span
+// returns to the pool. The caller must not touch s afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.SpanRecord.End = Now()
+	s.t.close(s)
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// RingSize bounds the flight recorder (default 2048 spans).
+	RingSize int
+	// Registry receives the per-(site, phase) latency histograms; a
+	// private registry is created when nil. Sharing one registry lets
+	// /metrics expose tracer histograms next to other instruments.
+	Registry *metrics.Registry
+	// FailureDump, when non-nil, receives a Chrome-trace JSON dump of
+	// the flight recorder each time DumpFailure fires (timeouts,
+	// partitions, panics), so a chaos failure always comes with its
+	// recent history. Writes are serialized by the tracer.
+	FailureDump io.Writer
+	// MaxDumps bounds the auto-dumps per tracer (default 4) so a
+	// failure storm cannot flood the sink.
+	MaxDumps int
+}
+
+// Tracer owns the span pool, the per-site histograms and the flight
+// recorder. A nil *Tracer is a valid "tracing off" value: StartCaller
+// and StartCallee return nil spans whose methods are no-ops.
+type Tracer struct {
+	cfg Config
+	reg *metrics.Registry
+	fam *metrics.Family
+
+	pool sync.Pool
+	// sites caches site → per-phase histogram arrays so span close
+	// does one lock-free map read, not NumPhases label renderings.
+	sites sync.Map // string → *[NumPhases]*metrics.Histogram
+
+	ringMu sync.Mutex
+	ring   []SpanRecord
+	ringN  uint64 // total records ever pushed
+
+	spansStarted atomic.Int64
+	failures     atomic.Int64
+	dumpMu       sync.Mutex
+	dumps        int
+}
+
+// New creates a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 2048
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 4
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	t := &Tracer{
+		cfg:  cfg,
+		reg:  reg,
+		fam:  reg.Family("cormi_phase_latency_ns", "per call-site, per-phase RMI latency in nanoseconds"),
+		ring: make([]SpanRecord, cfg.RingSize),
+	}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// Registry returns the metrics registry the tracer records into.
+func (t *Tracer) Registry() *metrics.Registry { return t.reg }
+
+// SpansStarted returns the number of spans opened so far.
+func (t *Tracer) SpansStarted() int64 { return t.spansStarted.Load() }
+
+// Failures returns the number of failed spans closed so far.
+func (t *Tracer) Failures() int64 { return t.failures.Load() }
+
+func (t *Tracer) start(site, method string, from, to int, seq int64, kind Kind, startWall int64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.spansStarted.Add(1)
+	s := t.pool.Get().(*Span)
+	s.SpanRecord = SpanRecord{
+		Site: site, Method: method, From: from, To: to, Seq: seq,
+		Kind: kind, Start: startWall,
+	}
+	s.t = t
+	return s
+}
+
+// StartCaller opens the invoking side's span. Returns nil (a no-op
+// span) on a nil tracer.
+func (t *Tracer) StartCaller(site, method string, from, to int, seq int64) *Span {
+	return t.start(site, method, from, to, seq, KindCaller, Now())
+}
+
+// StartCallee opens the serving side's span with an explicit start
+// time (the packet's receive timestamp, so transit and plan lookup
+// measured before the span existed still fit inside it).
+func (t *Tracer) StartCallee(site, method string, from, to int, seq, startWall int64) *Span {
+	if startWall == 0 {
+		startWall = Now()
+	}
+	return t.start(site, method, from, to, seq, KindCallee, startWall)
+}
+
+// hists returns the per-phase histogram array for a site, creating and
+// caching it on first use.
+func (t *Tracer) hists(site string) *[NumPhases]*metrics.Histogram {
+	if v, ok := t.sites.Load(site); ok {
+		return v.(*[NumPhases]*metrics.Histogram)
+	}
+	var arr [NumPhases]*metrics.Histogram
+	for p := Phase(0); p < NumPhases; p++ {
+		arr[p] = t.fam.Series(fmt.Sprintf("site=%q,phase=%q", site, p))
+	}
+	v, _ := t.sites.LoadOrStore(site, &arr)
+	return v.(*[NumPhases]*metrics.Histogram)
+}
+
+func (t *Tracer) close(s *Span) {
+	hs := t.hists(s.Site)
+	for p := range s.PhaseDur {
+		if d := s.PhaseDur[p]; d > 0 {
+			hs[p].Observe(d)
+		}
+	}
+	if s.Err != "" {
+		t.failures.Add(1)
+	}
+	t.ringMu.Lock()
+	t.ring[t.ringN%uint64(len(t.ring))] = s.SpanRecord
+	t.ringN++
+	t.ringMu.Unlock()
+
+	*s = Span{} // clear strings and stale phases before pooling
+	t.pool.Put(s)
+}
+
+// Recent returns the flight recorder's contents, oldest first. The
+// slice is a private copy.
+func (t *Tracer) Recent() []SpanRecord {
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	n := t.ringN
+	size := uint64(len(t.ring))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]SpanRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, t.ring[i%size])
+	}
+	return out
+}
+
+// DumpFailure writes a Chrome-trace dump of the flight recorder to the
+// configured FailureDump sink, tagged with the failure reason. It is
+// called by the RMI runtime on ErrTimeout, ErrPartitioned and user
+// method panics; at most MaxDumps dumps are written per tracer.
+func (t *Tracer) DumpFailure(reason string) {
+	if t == nil || t.cfg.FailureDump == nil {
+		return
+	}
+	t.dumpMu.Lock()
+	defer t.dumpMu.Unlock()
+	if t.dumps >= t.cfg.MaxDumps {
+		return
+	}
+	t.dumps++
+	_ = WriteChrome(t.cfg.FailureDump, t.Recent(), reason)
+}
+
+// PhaseStat is one (site, phase) latency summary row.
+type PhaseStat struct {
+	Site   string  `json:"site"`
+	Phase  string  `json:"phase"`
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P95NS  float64 `json:"p95_ns"`
+	P99NS  float64 `json:"p99_ns"`
+}
+
+// PhaseStats summarizes every populated (site, phase) histogram,
+// sorted by site then phase order.
+func (t *Tracer) PhaseStats() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	var out []PhaseStat
+	t.sites.Range(func(k, v any) bool {
+		site := k.(string)
+		arr := v.(*[NumPhases]*metrics.Histogram)
+		for p := Phase(0); p < NumPhases; p++ {
+			snap := arr[p].Snapshot()
+			if snap.Total == 0 {
+				continue
+			}
+			out = append(out, PhaseStat{
+				Site:   site,
+				Phase:  p.String(),
+				Count:  snap.Total,
+				MeanNS: snap.Mean(),
+				P50NS:  snap.Quantile(0.50),
+				P95NS:  snap.Quantile(0.95),
+				P99NS:  snap.Quantile(0.99),
+			})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return phaseIndex(out[i].Phase) < phaseIndex(out[j].Phase)
+	})
+	return out
+}
+
+func phaseIndex(name string) int {
+	for i, n := range phaseNames {
+		if n == name {
+			return i
+		}
+	}
+	return len(phaseNames)
+}

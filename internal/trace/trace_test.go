@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartCaller("s", "m", 0, 1, 7)
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	// Every span method must tolerate the nil receiver.
+	sp.BeginPhase(PhaseSerialize)
+	sp.EndPhase(PhaseSerialize)
+	sp.SetPhase(PhaseTransit, 1, 2)
+	sp.AddRetry()
+	sp.SetVirtualTransit(5)
+	sp.Fail("x")
+	sp.End()
+	tr.DumpFailure("timeout")
+	if got := tr.PhaseStats(); got != nil {
+		t.Fatalf("nil tracer PhaseStats = %v", got)
+	}
+}
+
+func TestSpanLifecycleAndHistograms(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	for i := 0; i < 5; i++ {
+		sp := tr.StartCaller("Foo.send.1", "send", 0, 1, int64(i))
+		sp.BeginPhase(PhaseSerialize)
+		sp.EndPhase(PhaseSerialize)
+		sp.SetPhase(PhaseWaitReply, Now(), 1000)
+		sp.End()
+	}
+	if got := tr.SpansStarted(); got != 5 {
+		t.Fatalf("SpansStarted = %d, want 5", got)
+	}
+	stats := tr.PhaseStats()
+	var wait *PhaseStat
+	for i := range stats {
+		if stats[i].Phase == "wait_reply" {
+			wait = &stats[i]
+		}
+	}
+	if wait == nil || wait.Count != 5 {
+		t.Fatalf("wait_reply stat missing or wrong count: %+v", stats)
+	}
+	if wait.P50NS < 512 || wait.P50NS > 2048 {
+		t.Errorf("p50 of constant 1000ns = %g, want within its log2 bucket", wait.P50NS)
+	}
+	if wait.P99NS < wait.P50NS {
+		t.Errorf("p99 %g < p50 %g", wait.P99NS, wait.P50NS)
+	}
+}
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartCallee("S", "m", 0, 1, int64(i), 0)
+		sp.End()
+	}
+	rec := tr.Recent()
+	if len(rec) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(rec))
+	}
+	// Oldest-first: the ring retains the last 4 of seq 0..9.
+	for i, r := range rec {
+		if want := int64(6 + i); r.Seq != want {
+			t.Errorf("rec[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+func TestFailureDump(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{RingSize: 16, FailureDump: &buf, MaxDumps: 2})
+	sp := tr.StartCaller("Work.go.1", "go", 0, 3, 42)
+	sp.AddRetry()
+	sp.Fail("rmi: call timed out")
+	sp.End()
+	tr.DumpFailure("timeout")
+
+	if tr.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", tr.Failures())
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.OtherData["reason"] != "timeout" {
+		t.Errorf("dump reason = %v, want timeout", parsed.OtherData["reason"])
+	}
+	out := buf.String()
+	for _, want := range []string{"Work.go.1", `"seq":42`, "call timed out"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// MaxDumps bounds the flood: the third dump is suppressed.
+	buf.Reset()
+	tr.DumpFailure("timeout")
+	second := buf.Len()
+	buf.Reset()
+	tr.DumpFailure("timeout")
+	if second == 0 || buf.Len() != 0 {
+		t.Errorf("dump throttling wrong: second=%d third=%d", second, buf.Len())
+	}
+}
+
+func TestWriteChromeParses(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	sp := tr.StartCallee("A.b.1", "b", 2, 5, 9, Now())
+	sp.BeginPhase(PhaseExecute)
+	sp.EndPhase(PhaseExecute)
+	sp.SetVirtualTransit(777)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Recent(), ""); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v", err)
+	}
+	var haveSpan, haveExec bool
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "A.b.1" && e.Ph == "X" && e.PID == 5 {
+			haveSpan = true
+		}
+		if e.Name == "execute" && e.Ph == "X" {
+			haveExec = true
+		}
+	}
+	if !haveSpan || !haveExec {
+		t.Fatalf("span=%v exec=%v, want both; events: %+v", haveSpan, haveExec, parsed.TraceEvents)
+	}
+}
+
+// TestSpanPoolRecycles pins the "enabled tracing recycles spans"
+// guarantee: steady-state span open/close allocates nothing beyond the
+// ring copy.
+func TestSpanPoolRecycles(t *testing.T) {
+	tr := New(Config{RingSize: 32})
+	for i := 0; i < 100; i++ { // reach pool steady state
+		tr.StartCaller("S", "m", 0, 1, int64(i)).End()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		sp := tr.StartCaller("S", "m", 0, 1, 1)
+		sp.BeginPhase(PhaseSerialize)
+		sp.EndPhase(PhaseSerialize)
+		sp.End()
+	})
+	if avg > 0.5 {
+		t.Fatalf("traced span lifecycle allocates %.2f/op, want 0", avg)
+	}
+}

@@ -92,12 +92,12 @@ func (e *channelEndpoint) Send(p Packet) error {
 func (e *channelEndpoint) Recv() (Packet, bool) {
 	select {
 	case p := <-e.net.inboxes[e.id]:
-		return p, true
+		return stampRecv(p), true
 	case <-e.net.done:
 		// Drain anything already queued before reporting closure.
 		select {
 		case p := <-e.net.inboxes[e.id]:
-			return p, true
+			return stampRecv(p), true
 		default:
 			return Packet{}, false
 		}

@@ -71,6 +71,10 @@ type PartitionReporter interface {
 // the packet's virtual timestamp (the simtime cost model turns it into
 // arrival time); drop/dup/reorder/corrupt act on real delivery, which
 // is what the RMI layer's checksums, retries and dedup must survive.
+// Trace wall timestamps (Packet.Wall) ride through unchanged — dup and
+// reorder copies keep the original send time, and RecvWall is stamped
+// by the inner network's receive side — so traced transit reflects the
+// real (including fault-induced) delivery schedule.
 type FaultyNetwork struct {
 	inner Network
 	cfg   FaultConfig

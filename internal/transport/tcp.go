@@ -11,9 +11,9 @@ import (
 )
 
 // TCPNetwork connects nodes over TCP with length-prefixed frames. Each
-// frame carries a 16-byte header (length, sender id, virtual
-// timestamp) followed by the payload. Connections are dialed lazily
-// and cached.
+// frame carries a 24-byte header (length, sender id, virtual
+// timestamp, wall-clock trace timestamp) followed by the payload.
+// Connections are dialed lazily and cached.
 //
 // Buffer ownership: Send writes the payload to the socket and then
 // releases it to the wire pool (the sender gave up ownership per the
@@ -121,11 +121,13 @@ func (e *tcpEndpoint) acceptLoop(l net.Listener) {
 }
 
 // tcpMetaSize is the per-frame metadata after the length prefix:
-// sender id (uint32) and virtual timestamp (uint64).
-const tcpMetaSize = 12
+// sender id (uint32), virtual timestamp (uint64), and wall-clock send
+// timestamp (uint64, zero when tracing is off) — the trace layer's
+// transit measurements survive the real network stack.
+const tcpMetaSize = 20
 
 func (e *tcpEndpoint) readLoop(c net.Conn) {
-	// The 16-byte header (length + metadata) lands in a stack buffer;
+	// The 24-byte header (length + metadata) lands in a stack buffer;
 	// only the payload is read into a pooled buffer, so recycling loses
 	// no capacity to header prefixes.
 	var hdr [4 + tcpMetaSize]byte
@@ -152,12 +154,13 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			wire.PutBuf(payload)
 			return
 		}
-		p := Packet{
+		p := stampRecv(Packet{
 			From:    int(int32(binary.LittleEndian.Uint32(hdr[4:]))),
 			TS:      int64(binary.LittleEndian.Uint64(hdr[8:])),
+			Wall:    int64(binary.LittleEndian.Uint64(hdr[16:])),
 			To:      e.id,
 			Payload: payload,
-		}
+		})
 		select {
 		case e.inbox <- p:
 		case <-e.done:
@@ -202,6 +205,7 @@ func (e *tcpEndpoint) Send(p Packet) error {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(tcpMetaSize+len(p.Payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.id))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.TS))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(p.Wall))
 
 	// Serialize writes per connection.
 	e.mu.Lock()

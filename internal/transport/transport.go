@@ -5,14 +5,35 @@
 // distributed runs.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrClosed is returned when sending over a closed network.
 var ErrClosed = errors.New("transport: network closed")
 
+// stampRecv records the wall-clock receive time on traced packets
+// (Wall != 0). Untraced packets pass through untouched — no clock
+// read on the hot path.
+func stampRecv(p Packet) Packet {
+	if p.Wall != 0 {
+		p.RecvWall = time.Now().UnixNano()
+	}
+	return p
+}
+
 // Packet is one message between nodes. TS is the sender's virtual send
 // timestamp in nanoseconds; the receiver syncs its clock with
 // TS + wire delay to preserve causality in the virtual-time model.
+//
+// Wall and RecvWall are the observability layer's wall-clock
+// timestamps (nanoseconds since the Unix epoch, internal/trace.Now):
+// a traced sender stamps Wall before Send, and every transport stamps
+// RecvWall on the receive side — but only for packets whose Wall is
+// nonzero, so untraced traffic pays one predictable branch and no
+// clock read. The pair lets the receiver measure real network +
+// queueing transit per packet, independent of the virtual cost model.
 //
 // Payload ownership follows the wire-pool protocol (wire.GetBuf /
 // wire.PutBuf, DESIGN.md §8): Send takes ownership of Payload, Recv
@@ -20,6 +41,8 @@ var ErrClosed = errors.New("transport: network closed")
 type Packet struct {
 	From, To int
 	TS       int64
+	Wall     int64 // wall-clock send time; 0 = untraced
+	RecvWall int64 // wall-clock receive time, transport-stamped when Wall != 0
 	Payload  []byte
 }
 

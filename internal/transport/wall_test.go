@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cormi/internal/wire"
+)
+
+// Wall-clock timestamping contract: every transport stamps RecvWall on
+// packets that carry a sender Wall timestamp, and leaves untraced
+// packets (Wall == 0) unstamped.
+
+func payload(s string) []byte {
+	b := wire.GetBuf(len(s))
+	copy(b, s)
+	return b
+}
+
+func checkWallStamping(t *testing.T, name string, send func(p Packet) error, recv func() (Packet, bool)) {
+	t.Helper()
+	// Untraced: no stamp.
+	if err := send(Packet{To: 1, Payload: payload("plain")}); err != nil {
+		t.Fatalf("%s: send: %v", name, err)
+	}
+	p, ok := recv()
+	if !ok {
+		t.Fatalf("%s: recv failed", name)
+	}
+	if p.Wall != 0 || p.RecvWall != 0 {
+		t.Errorf("%s: untraced packet stamped: wall=%d recv=%d", name, p.Wall, p.RecvWall)
+	}
+	wire.PutBuf(p.Payload)
+
+	// Traced: RecvWall stamped at/after the send stamp.
+	sent := time.Now().UnixNano()
+	if err := send(Packet{To: 1, Wall: sent, Payload: payload("traced")}); err != nil {
+		t.Fatalf("%s: send: %v", name, err)
+	}
+	p, ok = recv()
+	if !ok {
+		t.Fatalf("%s: recv failed", name)
+	}
+	if p.Wall != sent {
+		t.Errorf("%s: wall timestamp lost: got %d want %d", name, p.Wall, sent)
+	}
+	if p.RecvWall < sent {
+		t.Errorf("%s: RecvWall %d < send wall %d", name, p.RecvWall, sent)
+	}
+	wire.PutBuf(p.Payload)
+}
+
+func TestChannelWallStamping(t *testing.T) {
+	n := NewChannelNetwork(2, 8)
+	defer n.Close()
+	checkWallStamping(t, "channel", n.Endpoint(0).Send, n.Endpoint(1).Recv)
+}
+
+func TestTCPWallStamping(t *testing.T) {
+	n, err := NewTCPNetworkLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	checkWallStamping(t, "tcp", n.Endpoint(0).Send, n.Endpoint(1).Recv)
+}
+
+func TestFaultyWallStamping(t *testing.T) {
+	n := NewFaultyNetwork(NewChannelNetwork(2, 8), FaultConfig{Seed: 1})
+	defer n.Close()
+	checkWallStamping(t, "faulty", n.Endpoint(0).Send, n.Endpoint(1).Recv)
+}
+
+// TestFaultyDupKeepsWall checks that a duplicated packet's copy keeps
+// the original wall send time, so traced transit measures the real
+// delivery schedule of each copy.
+func TestFaultyDupKeepsWall(t *testing.T) {
+	n := NewFaultyNetwork(NewChannelNetwork(2, 8), FaultConfig{
+		Seed:       7,
+		FaultRates: FaultRates{Dup: 1.0},
+	})
+	defer n.Close()
+	sent := time.Now().UnixNano()
+	if err := n.Endpoint(0).Send(Packet{To: 1, Wall: sent, Payload: payload("dup")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		p, ok := n.Endpoint(1).Recv()
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		if p.Wall != sent {
+			t.Errorf("copy %d wall = %d, want %d", i, p.Wall, sent)
+		}
+		wire.PutBuf(p.Payload)
+	}
+	if got := n.Stats.Duplicated.Load(); got != 1 {
+		t.Fatalf("duplicated = %d, want 1", got)
+	}
+}

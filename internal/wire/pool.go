@@ -1,6 +1,9 @@
 package wire
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Buffer and message pooling for the zero-allocation RMI hot path.
 //
@@ -39,9 +42,42 @@ var msgPool = sync.Pool{New: func() any { return new(Message) }}
 
 var bufFree = make(chan []byte, bufFreeDepth)
 
+// Pool debug gauges: lifetime GetBuf/PutBuf call counts. Their
+// difference is the number of buffers currently owned by callers — a
+// steadily growing gap means someone breaks the ownership protocol and
+// leaks frames. The counters sit on separate cache lines so the two
+// atomic adds per frame never contend with each other.
+var (
+	bufGets struct {
+		atomic.Int64
+		_ [56]byte
+	}
+	bufPuts struct {
+		atomic.Int64
+		_ [56]byte
+	}
+)
+
+// PoolStats is a snapshot of the frame pool's debug gauges.
+type PoolStats struct {
+	Gets        int64 // lifetime GetBuf calls
+	Puts        int64 // lifetime PutBuf calls (nil puts excluded)
+	Outstanding int64 // Gets - Puts: buffers currently owned by callers
+}
+
+// Stats reports the frame pool's get/put balance. The gauge is
+// surfaced on the /metrics endpoint and checked by the leak test;
+// Outstanding can transiently exceed zero while frames are in flight,
+// but must return to a small constant at quiescence.
+func Stats() PoolStats {
+	g, p := bufGets.Load(), bufPuts.Load()
+	return PoolStats{Gets: g, Puts: p, Outstanding: g - p}
+}
+
 // GetBuf returns a buffer of length n from the frame pool (allocating
 // only when the pool is empty or too small).
 func GetBuf(n int) []byte {
+	bufGets.Add(1)
 	var b []byte
 	select {
 	case b = <-bufFree:
@@ -62,7 +98,13 @@ func GetBuf(n int) []byte {
 // exclusively: no other goroutine may hold a view into it. PutBuf(nil)
 // is a no-op, as is putting a buffer too large to retain.
 func PutBuf(b []byte) {
-	if b == nil || cap(b) > maxPooledBufCap {
+	if b == nil {
+		return
+	}
+	bufPuts.Add(1)
+	if cap(b) > maxPooledBufCap {
+		// Ownership was still returned — the buffer just falls to the GC
+		// instead of the free list.
 		return
 	}
 	select {
