@@ -1,14 +1,16 @@
 # Tier-1 verification gate: static checks, a full build, the test
 # suite under the race detector (the fault-tolerance layer is
-# concurrency-heavy; -race is part of its acceptance criteria), and an
-# end-to-end smoke of the observability endpoints.
-.PHONY: verify test bench verify-perf obs-smoke
+# concurrency-heavy; -race is part of its acceptance criteria), and
+# end-to-end smokes of the observability endpoints and the optimizer
+# decision explainer.
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke
 
 verify:
 	go vet ./...
 	go build ./...
 	go test -race ./...
 	$(MAKE) obs-smoke
+	$(MAKE) explain-smoke
 
 test:
 	go test ./...
@@ -19,6 +21,13 @@ test:
 # events) before exiting. No curl or fixed port needed.
 obs-smoke:
 	go run ./cmd/rminode -sends 5 -obs-smoke
+
+# Explain-pipeline smoke: compile every bundled example, emit the
+# cormi-explain/1 decision report, and self-validate the schema
+# invariants (a record per call site, witnesses on kept cycle checks,
+# reuse verdicts on every value).
+explain-smoke:
+	go run ./cmd/rmic -explain-smoke
 
 # Regenerate the human-readable Go benchmarks and the machine-readable
 # perf baseline consumed by benchdiff (commit BENCH_rmibench.json when

@@ -154,3 +154,31 @@ func TestBaselineWithPhaseLatencySectionStillParses(t *testing.T) {
 		t.Fatalf("plain baseline vs phase_latency: exit %d, %s", code, stderr)
 	}
 }
+
+func TestUnknownSectionsAreTolerated(t *testing.T) {
+	// Reports now carry a decisions section (the per-workload explain
+	// reports), and future runs may add more. benchdiff compares rows
+	// only; a report with sections this binary has never heard of must
+	// still parse and diff cleanly in either position — that forward
+	// compatibility is what lets baselines and tools be regenerated on
+	// independent schedules.
+	dir := t.TempDir()
+	withExtras := filepath.Join(dir, "extras.json")
+	if err := os.WriteFile(withExtras, []byte(`{
+		"go_version": "go1.24.0",
+		"rows": [{"table":"table1_linkedlist","level":"site","iters":100,"ns_per_op":1000,"b_per_op":8,"allocs_per_op":0}],
+		"decisions": [{"schema":"cormi-explain/1","source":"table1_linkedlist","sites":[]}],
+		"future_section": {"nested": [1, 2, {"deep": true}]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain := writeReport(t, dir, "plain.json", &harness.BenchReport{Rows: []harness.BenchRow{
+		row("table1_linkedlist", "site", 1000, 0),
+	}})
+	if code, _, stderr := runCLI(t, withExtras, plain); code != 0 {
+		t.Fatalf("decisions+unknown baseline vs plain: exit %d, %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, plain, withExtras); code != 0 {
+		t.Fatalf("plain baseline vs decisions+unknown: exit %d, %s", code, stderr)
+	}
+}

@@ -8,19 +8,28 @@
 // Usage:
 //
 //	rmic [flags] file.jp        # or -example to use a built-in sample
-//	  -dump-code   generated marshaler pseudocode per call site (default)
-//	  -dump-heap   heap graph per call site
-//	  -dump-ssa    SSA dump of every function
-//	  -dump-class  class-specific (baseline) serializers per class
-//	  -sites       one-line analysis summary per call site
+//	  -dump-code     generated marshaler pseudocode per call site (default)
+//	  -dump-heap     heap graph per call site
+//	  -dump-ssa      SSA dump of every function
+//	  -dump-class    class-specific (baseline) serializers per class
+//	  -sites         one-line analysis summary per call site
+//	  -explain       per-call-site optimizer decision report (human text)
+//	  -explain-json  the same report, machine readable (cormi-explain/1)
+//	  -explain-smoke run the explain pipeline over every bundled example
+//	                 and validate the reports (the `make explain-smoke` gate)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"cormi/internal/apps/lu"
+	"cormi/internal/apps/micro"
+	"cormi/internal/apps/superopt"
+	"cormi/internal/apps/webserver"
 	"cormi/internal/core"
 )
 
@@ -57,7 +66,18 @@ func main() {
 	dumpClass := flag.Bool("dump-class", false, "dump baseline class-specific serializers")
 	sites := flag.Bool("sites", false, "summarize call-site verdicts")
 	example := flag.Bool("example", false, "compile the built-in Figure 5 example")
+	explain := flag.Bool("explain", false, "print per-call-site optimizer decisions with denial witnesses")
+	explainJSON := flag.Bool("explain-json", false, "print the decision report as JSON (schema "+core.ExplainSchema+")")
+	explainSmoke := flag.Bool("explain-smoke", false, "self-validate the explain reports of every bundled example")
 	flag.Parse()
+
+	if *explainSmoke {
+		if err := smokeExplain(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rmic: explain smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := exampleSrc
 	switch {
@@ -123,7 +143,149 @@ func main() {
 			fmt.Println(core.ClassSpecificPseudocode(mc))
 		}
 	}
+	if *explain || *explainJSON {
+		any = true
+		label := "example"
+		if flag.NArg() == 1 {
+			label = flag.Arg(0)
+		}
+		rep := res.Explain(label)
+		if *explainJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "rmic: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(rep.Format())
+		}
+	}
 	if *dumpCode || !any {
 		fmt.Print(res.DumpAll())
 	}
+}
+
+// smokeExamples are the bundled programs the explain gate runs over:
+// the Figure 5 example plus every Table 1/2 workload source.
+var smokeExamples = []struct {
+	name string
+	src  string
+}{
+	{"example", exampleSrc},
+	{"webserver", webserver.Src},
+	{"superopt", superopt.Src},
+	{"lu", lu.Src},
+	{"micro-linkedlist", micro.LinkedListSrc},
+	{"micro-arraybench", micro.ArrayBenchSrc},
+}
+
+// smokeReport is the subset of the cormi-explain/1 schema the smoke
+// gate validates after a JSON round trip.
+type smokeReport struct {
+	Schema string `json:"schema"`
+	Sites  []struct {
+		Site       string          `json:"site"`
+		Dead       bool            `json:"dead"`
+		CycleCheck smokeCycleCheck `json:"cycle_check"`
+		Args       []smokeValue    `json:"args"`
+		Ret        *smokeValue     `json:"ret"`
+	} `json:"sites"`
+}
+
+type smokeCycleCheck struct {
+	Elided  bool `json:"elided"`
+	Witness *struct {
+		Kind       string `json:"kind"`
+		RepeatPath string `json:"repeat_path"`
+	} `json:"witness"`
+}
+
+type smokeValue struct {
+	PlanShape string `json:"plan_shape"`
+	Reuse     struct {
+		Applied    bool   `json:"applied"`
+		DeniedRule string `json:"denied_rule"`
+	} `json:"reuse"`
+}
+
+// smokeExplain compiles every bundled example, emits its explain
+// report as JSON, re-parses it, and validates the schema invariants:
+// a decision record for every call site, a plan shape and a reuse
+// verdict (applied, or denied with a rule) for every value, and a
+// heap-analysis witness on every kept cycle check. Across the corpus
+// it must see at least one elided cycle check and at least one applied
+// reuse decision — the optimizations the audit layer exists to
+// explain.
+func smokeExplain(w *os.File) error {
+	var elided, reuseApplied int
+	check := func(v smokeValue, where string) error {
+		if v.PlanShape == "" {
+			return fmt.Errorf("%s: missing plan_shape", where)
+		}
+		if v.Reuse.Applied {
+			reuseApplied++
+		} else if v.Reuse.DeniedRule == "" {
+			return fmt.Errorf("%s: reuse neither applied nor denied with a rule", where)
+		}
+		return nil
+	}
+	for _, ex := range smokeExamples {
+		res, err := core.Compile(ex.src)
+		if err != nil {
+			return fmt.Errorf("%s: %v", ex.name, err)
+		}
+		raw, err := json.Marshal(res.Explain(ex.name))
+		if err != nil {
+			return fmt.Errorf("%s: marshal: %v", ex.name, err)
+		}
+		var rep smokeReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("%s: report does not re-parse: %v", ex.name, err)
+		}
+		if rep.Schema != core.ExplainSchema {
+			return fmt.Errorf("%s: schema %q, want %q", ex.name, rep.Schema, core.ExplainSchema)
+		}
+		if len(rep.Sites) != len(res.Sites) {
+			return fmt.Errorf("%s: %d decision records for %d call sites",
+				ex.name, len(rep.Sites), len(res.Sites))
+		}
+		live := 0
+		for _, d := range rep.Sites {
+			if d.Site == "" {
+				return fmt.Errorf("%s: decision record without site id", ex.name)
+			}
+			if d.Dead {
+				continue
+			}
+			live++
+			if d.CycleCheck.Elided {
+				elided++
+			} else if d.CycleCheck.Witness == nil ||
+				d.CycleCheck.Witness.Kind == "" || d.CycleCheck.Witness.RepeatPath == "" {
+				return fmt.Errorf("%s %s: kept cycle check carries no witness", ex.name, d.Site)
+			}
+			for i, a := range d.Args {
+				if err := check(a, fmt.Sprintf("%s %s arg %d", ex.name, d.Site, i)); err != nil {
+					return err
+				}
+			}
+			if d.Ret != nil {
+				if err := check(*d.Ret, fmt.Sprintf("%s %s ret", ex.name, d.Site)); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(w, "explain %-18s %d sites (%d live): schema + witnesses OK\n",
+			ex.name, len(rep.Sites), live)
+	}
+	if elided == 0 {
+		return fmt.Errorf("no elided cycle check anywhere in the corpus")
+	}
+	if reuseApplied == 0 {
+		return fmt.Errorf("no applied reuse decision anywhere in the corpus")
+	}
+	fmt.Fprintf(w, "explain smoke OK: %d elided cycle checks, %d applied reuse decisions\n",
+		elided, reuseApplied)
+	return nil
 }

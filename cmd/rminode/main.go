@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"cormi/internal/apps/appkit"
@@ -41,6 +42,7 @@ import (
 	"cormi/internal/model"
 	"cormi/internal/obs"
 	"cormi/internal/rmi"
+	"cormi/internal/stats"
 	"cormi/internal/trace"
 	"cormi/internal/transport"
 )
@@ -81,21 +83,43 @@ func main() {
 	}
 
 	// The tracer and the HTTP surface outlive the per-level clusters:
-	// one flight recorder accumulates spans across the whole run.
+	// one flight recorder accumulates spans across the whole run, and
+	// /callsites aggregates the per-site counters across clusters
+	// (every level registers the same textual call site, so the
+	// snapshots sharing a site id are summed).
 	var tracer *trace.Tracer
 	var server *obs.Server
+	var csMu sync.Mutex
+	var clusters []*rmi.Cluster
+	siteStats := func() []stats.SiteStat {
+		csMu.Lock()
+		defer csMu.Unlock()
+		idx := map[string]int{}
+		var out []stats.SiteStat
+		for _, c := range clusters {
+			for _, s := range c.SiteStats() {
+				if i, ok := idx[s.Site]; ok {
+					out[i] = out[i].Add(s)
+				} else {
+					idx[s.Site] = len(out)
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
 	if *obsSmoke && *obsAddr == "" {
 		*obsAddr = "127.0.0.1:0"
 	}
 	if *obsAddr != "" {
 		tracer = trace.New(trace.Config{RingSize: 4096})
 		var err error
-		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer})
+		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer, SiteStats: siteStats})
 		if err != nil {
 			fail(err)
 		}
 		defer server.Close()
-		fmt.Printf("observability endpoints on http://%s (/metrics /trace /trace/stats /debug/pprof /healthz)\n", server.Addr())
+		fmt.Printf("observability endpoints on http://%s (/metrics /callsites /trace /trace/stats /debug/pprof /buildinfo /healthz)\n", server.Addr())
 	}
 
 	for _, level := range rmi.AllLevels {
@@ -116,6 +140,9 @@ func main() {
 				}))
 		}
 		cluster := rmi.New(*nodes, opts...)
+		csMu.Lock()
+		clusters = append(clusters, cluster)
+		csMu.Unlock()
 		res, err := core.CompileInto(src, cluster.Registry)
 		if err != nil {
 			fail(err)
@@ -169,17 +196,18 @@ func main() {
 	}
 
 	if *obsSmoke {
-		if err := smokeObs("http://" + server.Addr()); err != nil {
+		if err := smokeObs("http://"+server.Addr(), int64(*sends)); err != nil {
 			fail(fmt.Errorf("obs smoke: %w", err))
 		}
-		fmt.Println("obs smoke OK: /healthz, /metrics and /trace all served valid payloads")
+		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /buildinfo and /trace all served valid payloads")
 	}
 }
 
 // smokeObs validates the observability surface end to end: liveness,
-// Prometheus exposition with the expected series, and a /trace payload
-// that parses as a Chrome trace with events from the run.
-func smokeObs(base string) error {
+// Prometheus exposition with the expected series, live per-call-site
+// counters on /callsites, build provenance on /buildinfo, and a /trace
+// payload that parses as a Chrome trace with events from the run.
+func smokeObs(base string, sends int64) error {
 	get := func(path string) (string, error) {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -212,10 +240,54 @@ func smokeObs(base string) error {
 		"cormi_trace_spans_started_total",
 		"cormi_wire_buf_outstanding",
 		"cormi_phase_latency_ns_bucket",
+		`cormi_site_calls{site="Main.main.1"}`,
+		`cormi_site_wire_bytes{site="Main.main.1"}`,
 	} {
 		if !strings.Contains(body, series) {
 			return fmt.Errorf("/metrics missing series %s", series)
 		}
+	}
+
+	body, err = get("/callsites")
+	if err != nil {
+		return err
+	}
+	var sites []stats.SiteStat
+	if err := json.Unmarshal([]byte(body), &sites); err != nil {
+		return fmt.Errorf("/callsites is not valid JSON: %w", err)
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("/callsites empty after the run")
+	}
+	var main *stats.SiteStat
+	for i := range sites {
+		if sites[i].Site == "Main.main.1" {
+			main = &sites[i]
+		}
+	}
+	if main == nil {
+		return fmt.Errorf("/callsites missing Main.main.1: %s", body)
+	}
+	// All five optimization levels drove the same textual site.
+	if want := sends * int64(len(rmi.AllLevels)); main.Calls != want {
+		return fmt.Errorf("/callsites Main.main.1 calls = %d, want %d", main.Calls, want)
+	}
+	if main.WireBytes <= 0 {
+		return fmt.Errorf("/callsites Main.main.1 wire_bytes = %d, want > 0", main.WireBytes)
+	}
+
+	body, err = get("/buildinfo")
+	if err != nil {
+		return err
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		return fmt.Errorf("/buildinfo is not valid JSON: %w", err)
+	}
+	if bi.GoVersion == "" {
+		return fmt.Errorf("/buildinfo missing go_version: %s", body)
 	}
 
 	body, err = get("/trace")

@@ -64,6 +64,23 @@ type SiteInfo struct {
 	RetReusable bool
 	// RetMayCycle is the cycle verdict for the returned graph.
 	RetMayCycle bool
+
+	// Audit provenance (the explain layer renders these):
+	// CycleWitness/RetCycleWitness hold the §3.2 denial evidence when
+	// the cycle table is kept (nil when elided); ArgReuseDenied (one
+	// entry per serialized argument, nil where reuse applies or the
+	// argument is primitive) and RetReuseDenied hold the §3.3 escape
+	// witnesses; ArgNodes/RetNodes are the heap allocation-site sets
+	// each plan was derived from.
+	CycleWitness    *heap.CycleWitness
+	RetCycleWitness *heap.CycleWitness
+	ArgReuseDenied  []*EscapeWitness
+	RetReuseDenied  *EscapeWitness
+	ArgNodes        []heap.NodeSet
+	RetNodes        heap.NodeSet
+	// LinearRefined marks verdicts cleared by the opt-in linear-list
+	// refinement rather than the base §3.2 traversal.
+	LinearRefined bool
 }
 
 // Options selects optional compiler behaviors.

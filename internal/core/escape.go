@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cormi/internal/heap"
 	"cormi/internal/ir"
 )
@@ -17,9 +19,58 @@ func (r *Result) escapeState() *escapeState {
 	return &escapeState{globalReach: r.Heap.Reach(r.Heap.GlobalSeeds())}
 }
 
-// graphEscapes implements the RMI-specific escape analysis of §3.3 for
-// an object graph that should die when its invocation finishes: the
-// graph escapes if any of its nodes
+// Escape-denial rules. Each names the §3.3 condition that blocked
+// reuse; the witness carries the offending heap node when one exists.
+const (
+	RuleGlobalReachable   = "global-reachable"
+	RuleReceiverReachable = "receiver-reachable"
+	RuleReturned          = "returned"
+	RuleStoredOutside     = "stored-outside"
+	RuleUnknownStore      = "unknown-store"
+	RuleNoCalleeBody      = "no-callee-body"
+	RuleUnanalyzedClones  = "unanalyzed-clones"
+	RulePhiLive           = "phi-live"
+)
+
+// EscapeWitness is the provenance of a reuse denial: which escape rule
+// fired and, when the rule concerns a concrete heap node, which
+// allocation it was. A nil witness means the graph provably dies with
+// its invocation and the buffer may be reused.
+type EscapeWitness struct {
+	Rule   string
+	Node   heap.NodeID // offending node, -1 when the rule has no single node
+	Alloc  int         // its logical allocation number, -1 when Node is -1
+	Detail string
+}
+
+func (w *EscapeWitness) String() string {
+	if w == nil {
+		return "reusable"
+	}
+	s := w.Rule
+	if w.Node >= 0 {
+		s += fmt.Sprintf(" (allocation %d)", w.Alloc)
+	}
+	if w.Detail != "" {
+		s += ": " + w.Detail
+	}
+	return s
+}
+
+func (r *Result) nodeWitness(rule string, id heap.NodeID, detail string) *EscapeWitness {
+	return &EscapeWitness{Rule: rule, Node: id, Alloc: r.Heap.Nodes[id].Logical, Detail: detail}
+}
+
+// lifetimeRoot tags an extra escape seed set with the denial rule it
+// stands for, so a hit can be reported precisely.
+type lifetimeRoot struct {
+	rule  string
+	roots heap.NodeSet
+}
+
+// graphEscapeWitness implements the RMI-specific escape analysis of
+// §3.3 for an object graph that should die when its invocation
+// finishes: the graph escapes if any of its nodes
 //
 //   - is reachable from a static variable (stored to a global,
 //     directly or transitively — Figure 11),
@@ -32,20 +83,22 @@ func (r *Result) escapeState() *escapeState {
 // Note the recursive rule the paper highlights: an object escapes if
 // anything it (transitively) references escapes — which holds here
 // because `graph` is the full reachable set of the argument.
-func (r *Result) graphEscapes(es *escapeState, graph heap.NodeSet, extraRoots []heap.NodeSet) bool {
+//
+// The return value is the denial witness, nil when nothing escapes.
+func (r *Result) graphEscapeWitness(es *escapeState, graph heap.NodeSet, extra []lifetimeRoot) *EscapeWitness {
 	if len(graph) == 0 {
-		return false
+		return nil
 	}
-	for id := range graph {
+	for _, id := range graph.Sorted() {
 		if es.globalReach.Has(id) {
-			return true
+			return r.nodeWitness(RuleGlobalReachable, id, "reachable from a static variable")
 		}
 	}
-	for _, roots := range extraRoots {
-		reach := r.Heap.Reach(roots)
-		for id := range graph {
+	for _, lr := range extra {
+		reach := r.Heap.Reach(lr.roots)
+		for _, id := range graph.Sorted() {
 			if reach.Has(id) {
-				return true
+				return r.nodeWitness(lr.rule, id, "")
 			}
 		}
 	}
@@ -56,9 +109,10 @@ func (r *Result) graphEscapes(es *escapeState, graph heap.NodeSet, extraRoots []
 			continue
 		}
 		for _, key := range fieldKeys(r.Heap, id) {
-			for m := range r.Heap.Field(id, key) {
+			for _, m := range r.Heap.Field(id, key).Sorted() {
 				if graph.Has(m) {
-					return true
+					return r.nodeWitness(RuleStoredOutside, m,
+						fmt.Sprintf("stored into %s of allocation %d", key, r.Heap.Nodes[id].Logical))
 				}
 			}
 		}
@@ -67,7 +121,7 @@ func (r *Result) graphEscapes(es *escapeState, graph heap.NodeSet, extraRoots []
 	// receiver no analyzed code ever allocates): the target is
 	// unknowable, so assume the store escapes.
 	for _, f := range r.IR.Funcs {
-		escaped := false
+		var w *EscapeWitness
 		f.Instrs(func(in *ir.Instr) bool {
 			var target, val *ir.Value
 			switch in.Op {
@@ -81,19 +135,20 @@ func (r *Result) graphEscapes(es *escapeState, graph heap.NodeSet, extraRoots []
 			if len(r.Heap.PointsTo(target)) > 0 {
 				return true
 			}
-			for id := range r.Heap.PointsTo(val) {
+			for _, id := range r.Heap.PointsTo(val).Sorted() {
 				if graph.Has(id) {
-					escaped = true
+					w = r.nodeWitness(RuleUnknownStore, id,
+						fmt.Sprintf("stored through an unanalyzable reference in %s", f.Name))
 					return false
 				}
 			}
 			return true
 		})
-		if escaped {
-			return true
+		if w != nil {
+			return w
 		}
 	}
-	return false
+	return nil
 }
 
 func fieldKeys(a *heap.Analysis, id heap.NodeID) []string {
@@ -106,17 +161,21 @@ func fieldKeys(a *heap.Analysis, id heap.NodeID) []string {
 	return keys
 }
 
-// argReusable decides §3.3 for one serialized argument of a remote
+// argReuseDenial decides §3.3 for one serialized argument of a remote
 // call site: the callee-side clone graph of this argument must not
-// escape the callee.
-func (r *Result) argReusable(es *escapeState, site *ir.Instr, argNodes heap.NodeSet) bool {
+// escape the callee. A nil result means the argument buffer is
+// reusable; otherwise the witness says why not.
+func (r *Result) argReuseDenial(es *escapeState, site *ir.Instr, argNodes heap.NodeSet) *EscapeWitness {
 	callee, ok := r.IR.FuncOf[site.Callee]
 	if !ok {
-		return false // no body: cannot prove anything
+		// No body: cannot prove anything.
+		return &EscapeWitness{Rule: RuleNoCalleeBody, Node: -1, Alloc: -1,
+			Detail: site.Callee.QualifiedName() + " has no analyzable body"}
 	}
 	clones := r.Heap.CloneSetOf(heap.ArgCtx(site.Callee), argNodes)
 	if len(clones) == 0 && len(argNodes) > 0 {
-		return false
+		return &EscapeWitness{Rule: RuleUnanalyzedClones, Node: -1, Alloc: -1,
+			Detail: "no callee-side clone of the argument graph was analyzed"}
 	}
 	graph := r.Heap.Reach(clones)
 
@@ -124,20 +183,20 @@ func (r *Result) argReusable(es *escapeState, site *ir.Instr, argNodes heap.Node
 	// argument into a field of the remote object keeps it alive across
 	// calls) and the callee's returned graph (a returned argument
 	// flows back to the caller).
-	var extra []heap.NodeSet
+	var extra []lifetimeRoot
 	if !site.Callee.Static && len(callee.Params) > 0 {
-		extra = append(extra, r.Heap.PointsTo(callee.Params[0]))
+		extra = append(extra, lifetimeRoot{RuleReceiverReachable, r.Heap.PointsTo(callee.Params[0])})
 	}
 	rets := heap.NodeSet{}
 	for _, rv := range ir.ReturnValues(callee) {
 		rets.AddAll(r.Heap.PointsTo(rv))
 	}
-	extra = append(extra, rets)
+	extra = append(extra, lifetimeRoot{RuleReturned, rets})
 
-	return !r.graphEscapes(es, graph, extra)
+	return r.graphEscapeWitness(es, graph, extra)
 }
 
-// retReusable decides §3.3 for the return value at the caller: the
+// retReuseDenial decides §3.3 for the return value at the caller: the
 // clone graph materialized at this call site must not escape the
 // caller (it may, however, be re-sent over further RMIs — those copy).
 //
@@ -146,30 +205,31 @@ func (r *Result) argReusable(es *escapeState, site *ir.Instr, argNodes heap.Node
 // value must be dead by then. A same-site re-execution only happens
 // through a loop back edge, so it suffices that the result value never
 // flows into a phi (it does not survive a loop iteration or join).
-func (r *Result) retReusable(es *escapeState, site *ir.Instr, retNodes heap.NodeSet) bool {
+func (r *Result) retReuseDenial(es *escapeState, site *ir.Instr, retNodes heap.NodeSet) *EscapeWitness {
 	if site.Dst != nil {
 		for _, u := range site.Dst.Uses {
 			if u.Op == ir.OpPhi {
-				return false
+				return &EscapeWitness{Rule: RulePhiLive, Node: -1, Alloc: -1,
+					Detail: "result flows into a phi, so it may survive a loop iteration"}
 			}
 		}
 	}
 	clones := r.Heap.CloneSetOf(heap.RetCtx(site.SiteID), retNodes)
 	if len(clones) == 0 && len(retNodes) > 0 {
-		return false
+		return &EscapeWitness{Rule: RuleUnanalyzedClones, Node: -1, Alloc: -1,
+			Detail: "no caller-side clone of the returned graph was analyzed"}
 	}
 	graph := r.Heap.Reach(clones)
 
 	// If any function can return part of this graph, it outlives the
 	// caller's frame.
-	var extra []heap.NodeSet
 	rets := heap.NodeSet{}
 	for _, f := range r.IR.Funcs {
 		for _, rv := range ir.ReturnValues(f) {
 			rets.AddAll(r.Heap.PointsTo(rv))
 		}
 	}
-	extra = append(extra, rets)
+	extra := []lifetimeRoot{{RuleReturned, rets}}
 
-	return !r.graphEscapes(es, graph, extra)
+	return r.graphEscapeWitness(es, graph, extra)
 }

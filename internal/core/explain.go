@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cormi/internal/heap"
+	"cormi/internal/model"
+	"cormi/internal/serial"
+)
+
+// ExplainSchema identifies the machine-readable explain report format
+// consumed by `rmic -explain-json` readers and the rmibench decisions
+// section. Bump on incompatible change.
+const ExplainSchema = "cormi-explain/1"
+
+// ExplainReport is the audit-layer view of a compiled program: one
+// Decision record per remote call site stating what the optimizer did
+// and, where an optimization was denied, the heap-analysis witness
+// that denied it.
+type ExplainReport struct {
+	Schema string         `json:"schema"`
+	Source string         `json:"source,omitempty"`
+	Sites  []SiteDecision `json:"sites"`
+}
+
+// SiteDecision is the per-call-site Decision record.
+type SiteDecision struct {
+	Site    string `json:"site"`
+	Callee  string `json:"callee,omitempty"`
+	Dead    bool   `json:"dead,omitempty"`
+	AckOnly bool   `json:"ack_only"`
+
+	CycleCheck    CycleDecision   `json:"cycle_check"`
+	RetCycleCheck *CycleDecision  `json:"ret_cycle_check,omitempty"`
+	Args          []ValueDecision `json:"args"`
+	Ret           *ValueDecision  `json:"ret,omitempty"`
+}
+
+// CycleDecision records the §3.2 verdict for one message direction.
+type CycleDecision struct {
+	Elided        bool           `json:"elided"`
+	LinearRefined bool           `json:"linear_refined,omitempty"`
+	Witness       *WitnessDetail `json:"witness,omitempty"`
+}
+
+// WitnessDetail is the JSON form of a heap.CycleWitness: why the cycle
+// table had to be kept.
+type WitnessDetail struct {
+	Kind          string `json:"kind"` // "cycle" or "shared"
+	RepeatedAlloc int    `json:"repeated_alloc"`
+	FirstPath     string `json:"first_path"`
+	RepeatPath    string `json:"repeat_path"`
+	Text          string `json:"text"`
+}
+
+// ValueDecision records the §3.1/§3.3 verdicts for one serialized
+// argument or return value.
+type ValueDecision struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind"`
+	// PlanShape is "primitive", "inlined" (call-site-specific marshaler
+	// with a statically known root class) or "dynamic" (polymorphic
+	// fallback through the class-mode path).
+	PlanShape     string `json:"plan_shape"`
+	RootClass     string `json:"root_class,omitempty"`
+	InlinedSteps  int    `json:"inlined_steps,omitempty"`
+	DynamicFields int    `json:"dynamic_fields,omitempty"`
+	// HeapAllocs lists the logical allocation numbers the plan was
+	// derived from — the provenance link back to internal/heap.
+	HeapAllocs []int         `json:"heap_allocs,omitempty"`
+	Reuse      ReuseDecision `json:"reuse"`
+}
+
+// ReuseDecision records whether the §3.3 buffer reuse fired, and the
+// escape witness when it did not.
+type ReuseDecision struct {
+	Applied    bool   `json:"applied"`
+	DeniedRule string `json:"denied_rule,omitempty"`
+	// DeniedAlloc is the logical allocation number of the escaping
+	// node, when the denial rule concerns a concrete node.
+	DeniedAlloc *int   `json:"denied_alloc,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// RulePrimitive marks non-reference values in reuse decisions: only
+// reference graphs have reusable buffers, so the question does not
+// arise.
+const RulePrimitive = "primitive"
+
+// Explain builds the audit report for a compiled program. source is a
+// free-form label (file name, workload name) carried into the report.
+func (r *Result) Explain(source string) *ExplainReport {
+	rep := &ExplainReport{Schema: ExplainSchema, Source: source}
+	for _, si := range r.Sites {
+		rep.Sites = append(rep.Sites, r.siteDecision(si))
+	}
+	return rep
+}
+
+func (r *Result) siteDecision(si *SiteInfo) SiteDecision {
+	d := SiteDecision{Site: si.Name, Dead: si.Dead, AckOnly: si.IgnoreRet}
+	if si.Callee != nil {
+		d.Callee = si.Callee.QualifiedName()
+	}
+	if si.Dead {
+		// Unreachable code: nothing was generated, nothing to audit.
+		d.CycleCheck = CycleDecision{Elided: true}
+		return d
+	}
+	d.CycleCheck = cycleDecision(si.MayCycle, si.CycleWitness, si.LinearRefined)
+	for i, plan := range si.ArgPlans {
+		vd := valueDecision(i, plan)
+		vd.HeapAllocs = allocNumbers(r.Heap, si.ArgNodes[i])
+		vd.Reuse = reuseDecision(plan, si.ArgReusable[i], si.ArgReuseDenied[i])
+		d.Args = append(d.Args, vd)
+	}
+	if len(d.Args) == 0 {
+		d.Args = []ValueDecision{} // explicit empty list in JSON
+	}
+	if si.NumRet == 1 && len(si.RetPlans) == 1 {
+		rc := cycleDecision(si.RetMayCycle, si.RetCycleWitness, si.LinearRefined)
+		d.RetCycleCheck = &rc
+		vd := valueDecision(0, si.RetPlans[0])
+		vd.HeapAllocs = allocNumbers(r.Heap, si.RetNodes)
+		vd.Reuse = reuseDecision(si.RetPlans[0], si.RetReusable, si.RetReuseDenied)
+		d.Ret = &vd
+	}
+	return d
+}
+
+func cycleDecision(mayCycle bool, w *heap.CycleWitness, linear bool) CycleDecision {
+	d := CycleDecision{Elided: !mayCycle, LinearRefined: linear}
+	if w != nil {
+		d.Witness = &WitnessDetail{
+			Kind:          w.Kind,
+			RepeatedAlloc: w.Alloc,
+			FirstPath:     strings.Join(w.FirstPath, ""),
+			RepeatPath:    strings.Join(w.Path, ""),
+			Text:          w.String(),
+		}
+	}
+	return d
+}
+
+func valueDecision(index int, p *serial.Plan) ValueDecision {
+	vd := ValueDecision{Index: index, Kind: p.Kind.String()}
+	if p.Kind != model.FRef {
+		vd.PlanShape = "primitive"
+		return vd
+	}
+	if p.Root == nil {
+		vd.PlanShape = "dynamic"
+		return vd
+	}
+	vd.PlanShape = "inlined"
+	vd.RootClass = p.Root.Class.Name
+	seen := map[*serial.NodePlan]bool{}
+	var walk func(np *serial.NodePlan)
+	walk = func(np *serial.NodePlan) {
+		if np == nil {
+			vd.DynamicFields++
+			return
+		}
+		if seen[np] {
+			return
+		}
+		seen[np] = true
+		vd.InlinedSteps += len(np.Steps)
+		for _, s := range np.Steps {
+			switch s.Op {
+			case serial.OpRef:
+				walk(s.Target)
+			case serial.OpRefDynamic:
+				vd.DynamicFields++
+			}
+		}
+		if np.Class.Kind == model.KRefArray {
+			walk(np.Elem)
+		}
+	}
+	walk(p.Root)
+	return vd
+}
+
+func reuseDecision(p *serial.Plan, applied bool, denied *EscapeWitness) ReuseDecision {
+	if applied {
+		return ReuseDecision{Applied: true}
+	}
+	if p.Kind != model.FRef {
+		return ReuseDecision{DeniedRule: RulePrimitive,
+			Detail: "only reference graphs have reusable buffers"}
+	}
+	if denied == nil {
+		return ReuseDecision{DeniedRule: "unknown"}
+	}
+	rd := ReuseDecision{DeniedRule: denied.Rule, Detail: denied.Detail}
+	if denied.Node >= 0 {
+		alloc := denied.Alloc
+		rd.DeniedAlloc = &alloc
+	}
+	return rd
+}
+
+func allocNumbers(a *heap.Analysis, set heap.NodeSet) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	var out []int
+	for _, id := range set.Sorted() {
+		out = append(out, a.Nodes[id].Logical)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Format renders the report as the human-readable `rmic -explain`
+// text, in the spirit of the rmic dump tools.
+func (rep *ExplainReport) Format() string {
+	var b strings.Builder
+	if rep.Source != "" {
+		fmt.Fprintf(&b, "== explain: %s ==\n", rep.Source)
+	}
+	for _, d := range rep.Sites {
+		fmt.Fprintf(&b, "call site %s", d.Site)
+		if d.Callee != "" {
+			fmt.Fprintf(&b, " -> %s", d.Callee)
+		}
+		b.WriteString("\n")
+		if d.Dead {
+			b.WriteString("  dead code: no marshalers generated\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  reply: %s\n", ackWord(d.AckOnly))
+		fmt.Fprintf(&b, "  cycle check (args): %s\n", d.CycleCheck.format())
+		for _, a := range d.Args {
+			fmt.Fprintf(&b, "  arg %d: %s\n", a.Index, a.format())
+		}
+		if d.Ret != nil {
+			if d.RetCycleCheck != nil {
+				fmt.Fprintf(&b, "  cycle check (ret): %s\n", d.RetCycleCheck.format())
+			}
+			fmt.Fprintf(&b, "  ret: %s\n", d.Ret.format())
+		}
+	}
+	return b.String()
+}
+
+func ackWord(ack bool) string {
+	if ack {
+		return "ack-only (result ignored at the call site)"
+	}
+	return "full (result used)"
+}
+
+func (c CycleDecision) format() string {
+	if c.Elided {
+		s := "ELIDED — no allocation repeats"
+		if c.LinearRefined {
+			s = "ELIDED — linear-list refinement (constructor-ordered chain)"
+		}
+		return s
+	}
+	if c.Witness != nil {
+		return "KEPT — " + c.Witness.Text
+	}
+	return "KEPT"
+}
+
+func (v ValueDecision) format() string {
+	var parts []string
+	switch v.PlanShape {
+	case "primitive":
+		parts = append(parts, v.Kind)
+	case "dynamic":
+		parts = append(parts, "polymorphic reference, dynamic (class mode) serializer")
+	default:
+		s := fmt.Sprintf("inlined marshaler for %s (%d steps", v.RootClass, v.InlinedSteps)
+		if v.DynamicFields > 0 {
+			s += fmt.Sprintf(", %d dynamic fields", v.DynamicFields)
+		}
+		s += ")"
+		parts = append(parts, s)
+	}
+	if len(v.HeapAllocs) > 0 {
+		nums := make([]string, len(v.HeapAllocs))
+		for i, n := range v.HeapAllocs {
+			nums[i] = fmt.Sprint(n)
+		}
+		parts = append(parts, "allocs {"+strings.Join(nums, ",")+"}")
+	}
+	r := v.Reuse
+	switch {
+	case r.Applied:
+		parts = append(parts, "reuse APPLIED")
+	case r.DeniedRule == RulePrimitive:
+		// No reuse question for primitives; say nothing.
+	default:
+		s := "reuse DENIED [" + r.DeniedRule
+		if r.DeniedAlloc != nil {
+			s += fmt.Sprintf(", allocation %d", *r.DeniedAlloc)
+		}
+		s += "]"
+		if r.Detail != "" {
+			s += " " + r.Detail
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "; ")
+}

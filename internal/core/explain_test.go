@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// cyclicSrc builds a genuine two-node cycle before the remote call, so
+// the cycle check cannot be elided and the decision must carry the
+// heap-analysis witness that kept it.
+const cyclicSrc = `
+class Node { Node next; int v; }
+remote class Sink {
+	void take(Node n) { }
+	static void main() {
+		Node a = new Node();
+		Node b = new Node();
+		a.next = b;
+		b.next = a;
+		Sink s = new Sink();
+		s.take(a);
+	}
+}`
+
+func explainSite(t *testing.T, src, callee string) SiteDecision {
+	t.Helper()
+	r := compile(t, src)
+	sites := r.SitesOfCallee(callee)
+	if len(sites) == 0 {
+		t.Fatalf("no call sites of %s", callee)
+	}
+	rep := r.Explain("test")
+	for _, d := range rep.Sites {
+		if d.Site == sites[0].Name {
+			return d
+		}
+	}
+	t.Fatalf("no decision record for %s in %+v", sites[0].Name, rep.Sites)
+	return SiteDecision{}
+}
+
+func TestExplainKeptCycleCheckCarriesWitness(t *testing.T) {
+	d := explainSite(t, cyclicSrc, "Sink.take")
+	if d.CycleCheck.Elided {
+		t.Fatal("a genuine a->b->a cycle must keep the cycle check")
+	}
+	w := d.CycleCheck.Witness
+	if w == nil {
+		t.Fatal("kept cycle check without a witness explains nothing")
+	}
+	if w.Kind != "cycle" {
+		t.Errorf("witness kind = %q, want %q", w.Kind, "cycle")
+	}
+	if w.RepeatPath == "" || w.Text == "" {
+		t.Errorf("witness missing paths/text: %+v", w)
+	}
+}
+
+func TestExplainElidedCheckAndAppliedReuse(t *testing.T) {
+	// Figure 10 shape: the argument never escapes and cannot cycle, so
+	// both optimizations fire and the record says so with provenance.
+	d := explainSite(t, `
+remote class Foo {
+	double sum;
+	void foo(double[] a) {
+		this.sum = a[0] + a[1];
+	}
+	static void main() {
+		Foo f = new Foo();
+		double[] a = new double[2];
+		f.foo(a);
+	}
+}`, "Foo.foo")
+	if !d.CycleCheck.Elided {
+		t.Error("acyclic double[] argument: cycle check should be elided")
+	}
+	if d.CycleCheck.Witness != nil {
+		t.Errorf("elided check must not carry a witness: %+v", d.CycleCheck.Witness)
+	}
+	if len(d.Args) != 1 {
+		t.Fatalf("got %d arg decisions, want 1", len(d.Args))
+	}
+	a := d.Args[0]
+	if !a.Reuse.Applied {
+		t.Errorf("reuse should be applied, denied by %q", a.Reuse.DeniedRule)
+	}
+	if a.PlanShape != "inlined" {
+		t.Errorf("plan_shape = %q, want inlined", a.PlanShape)
+	}
+	if len(a.HeapAllocs) == 0 {
+		t.Error("no heap allocation provenance on the argument decision")
+	}
+}
+
+func TestExplainDenialNamesEscapeRuleAndAlloc(t *testing.T) {
+	// Figure 11 shape: the argument graph reaches a static variable, so
+	// reuse is denied and the record must name the rule and the
+	// escaping allocation.
+	d := explainSite(t, `
+class Data { }
+class Bar { Data d; }
+remote class Foo {
+	static Data d;
+	void foo(Bar a) {
+		Foo.d = a.d;
+	}
+	static void main() {
+		Foo f = new Foo();
+		Bar b = new Bar();
+		b.d = new Data();
+		f.foo(b);
+	}
+}`, "Foo.foo")
+	a := d.Args[0]
+	if a.Reuse.Applied {
+		t.Fatal("globally reachable argument must not be reuse-applied")
+	}
+	if a.Reuse.DeniedRule != RuleGlobalReachable {
+		t.Errorf("denied_rule = %q, want %q", a.Reuse.DeniedRule, RuleGlobalReachable)
+	}
+	if a.Reuse.DeniedAlloc == nil {
+		t.Error("denial about a concrete node must name its allocation")
+	}
+}
+
+func TestExplainJSONRoundTripAndFormat(t *testing.T) {
+	r := compile(t, cyclicSrc)
+	rep := r.Explain("cyclic.jp")
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExplainReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != ExplainSchema || back.Source != "cyclic.jp" {
+		t.Errorf("round-trip lost header: %+v", back)
+	}
+	if len(back.Sites) != len(rep.Sites) {
+		t.Errorf("round-trip lost sites: %d -> %d", len(rep.Sites), len(back.Sites))
+	}
+	text := rep.Format()
+	for _, want := range []string{"cyclic.jp", "Sink.take", "KEPT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+}

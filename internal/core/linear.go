@@ -104,6 +104,8 @@ func (r *Result) constructorOrdered(fd *lang.FieldDecl) bool {
 func (r *Result) refineLinear(si *SiteInfo, argNodeSets []heap.NodeSet, argTypes []lang.Type, retNodes heap.NodeSet) {
 	if si.MayCycle && len(argNodeSets) == 1 && r.chainClass(argNodeSets[0], argTypes[0]) {
 		si.MayCycle = false
+		si.CycleWitness = nil
+		si.LinearRefined = true
 		for _, p := range si.ArgPlans {
 			p.NeedCycle = false
 		}
@@ -111,6 +113,8 @@ func (r *Result) refineLinear(si *SiteInfo, argNodeSets []heap.NodeSet, argTypes
 	if si.RetMayCycle && si.NumRet == 1 && si.Callee != nil &&
 		r.chainClass(retNodes, si.Callee.Ret) {
 		si.RetMayCycle = false
+		si.RetCycleWitness = nil
+		si.LinearRefined = true
 		for _, p := range si.RetPlans {
 			p.NeedCycle = false
 		}

@@ -53,19 +53,24 @@ func (r *Result) buildSites() error {
 				return fmt.Errorf("site %s arg %d: %w", si.Name, i, err)
 			}
 			si.ArgPlans = append(si.ArgPlans, plan)
+			si.ArgNodes = append(si.ArgNodes, nodes)
 			reusable := false
+			var denied *EscapeWitness
 			if lang.IsRef(declType) {
 				refArgSets = append(refArgSets, nodes)
 				refArgTypes = append(refArgTypes, declType)
-				reusable = r.argReusable(es, in, nodes)
+				denied = r.argReuseDenial(es, in, nodes)
+				reusable = denied == nil
 			}
 			si.ArgReusable = append(si.ArgReusable, reusable)
+			si.ArgReuseDenied = append(si.ArgReuseDenied, denied)
 			plan.Reusable = reusable
 		}
 
 		// §3.2: one shared traversal over all argument graphs decides
 		// whether this message needs a cycle table.
-		si.MayCycle = r.Heap.MayCycleFrom(refArgSets)
+		si.CycleWitness = r.Heap.CycleWitnessFrom(refArgSets)
+		si.MayCycle = si.CycleWitness != nil
 		for _, p := range si.ArgPlans {
 			if p.Kind == model.FRef {
 				p.NeedCycle = si.MayCycle
@@ -84,8 +89,13 @@ func (r *Result) buildSites() error {
 			if err != nil {
 				return fmt.Errorf("site %s return: %w", si.Name, err)
 			}
-			si.RetMayCycle = r.Heap.MayCycleFrom([]heap.NodeSet{retNodes})
-			si.RetReusable = lang.IsRef(in.Callee.Ret) && r.retReusable(es, in, retNodes)
+			si.RetNodes = retNodes
+			si.RetCycleWitness = r.Heap.CycleWitnessFrom([]heap.NodeSet{retNodes})
+			si.RetMayCycle = si.RetCycleWitness != nil
+			if lang.IsRef(in.Callee.Ret) {
+				si.RetReuseDenied = r.retReuseDenial(es, in, retNodes)
+				si.RetReusable = si.RetReuseDenied == nil
+			}
 			plan.NeedCycle = si.RetMayCycle
 			plan.Reusable = si.RetReusable
 			si.RetPlans = append(si.RetPlans, plan)

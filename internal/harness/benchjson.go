@@ -17,6 +17,7 @@ import (
 	"cormi/internal/apps/micro"
 	"cormi/internal/apps/superopt"
 	"cormi/internal/apps/webserver"
+	"cormi/internal/core"
 	"cormi/internal/rmi"
 	"cormi/internal/trace"
 )
@@ -45,6 +46,13 @@ type BenchReport struct {
 	// include tracing overhead; omitempty keeps old baselines
 	// comparable.
 	Phases []trace.PhaseStat `json:"phase_latency,omitempty"`
+	// Decisions carries the compile-time optimizer decision report
+	// (schema core.ExplainSchema) of each measured workload program:
+	// the audit-layer link between the rows above and WHY each level
+	// performs as it does. Readers that predate the section — and any
+	// reader seeing future sections — must ignore unknown keys, which
+	// encoding/json does by default; benchdiff has a test pinning that.
+	Decisions []*core.ExplainReport `json:"decisions,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -187,6 +195,21 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		})); err != nil {
 			return nil, err
 		}
+	}
+	// The decisions section: compile each measured workload's source
+	// and attach its explain report, so the bench JSON carries not
+	// just the numbers but the optimizer's reasoning behind them.
+	for _, wl := range []struct{ name, src string }{
+		{"table1_linkedlist", micro.LinkedListSrc},
+		{"table2_array2d", micro.ArrayBenchSrc},
+		{"table5_superopt", superopt.Src},
+		{"table7_webserver", webserver.Src},
+	} {
+		res, err := core.Compile(wl.src)
+		if err != nil {
+			return nil, fmt.Errorf("harness: explain %s: %w", wl.name, err)
+		}
+		report.Decisions = append(report.Decisions, res.Explain(wl.name))
 	}
 	if spec.TracePhases {
 		tr, err := RunTraced(spec)

@@ -28,6 +28,11 @@ type ChaosSpec struct {
 	// spans land in its flight recorder and a timeout or partition
 	// auto-dumps the recent history to its configured FailureDump sink.
 	Tracer *trace.Tracer
+	// ClaimCheck (Every > 0) turns on the sampled runtime claim
+	// checker on every cluster: the chaos matrix then doubles as the
+	// audit layer's acceptance gate, proving the compiler's acyclicity
+	// and reuse-shape claims hold while the transport misbehaves.
+	ClaimCheck rmi.ClaimCheckPolicy
 }
 
 // DefaultChaosSpec returns the fault mix used by the chaos test and
@@ -52,6 +57,10 @@ func DefaultChaosSpec(seed int64) ChaosSpec {
 			Backoff:    time.Millisecond,
 			MaxBackoff: 8 * time.Millisecond,
 		},
+		// Audit every fourth tick: dense enough that every matrix row
+		// re-verifies claims many times, sparse enough that the chaos
+		// run still spends most of its calls on the unaudited hot path.
+		ClaimCheck: rmi.ClaimCheckPolicy{Every: 4},
 	}
 }
 
@@ -88,16 +97,17 @@ func (r *ChaosReport) Format() string {
 	fmt.Fprintf(&b, "Chaos run: drop=%.0f%% dup=%.0f%% reorder=%.0f%% corrupt=%.0f%% delay≤%dns seed=%d (timeout=%v, %d retries)\n",
 		f.Drop*100, f.Dup*100, f.Reorder*100, f.Corrupt*100, f.DelayNS, f.Seed,
 		r.Spec.Policy.Timeout, r.Spec.Policy.Retries)
-	fmt.Fprintf(&b, "%-12s %-22s %10s %8s %9s %12s %13s %7s\n",
-		"app", "optimization", "seconds", "retries", "timeouts", "dup-suppr.", "corrupt-drop", "result")
+	fmt.Fprintf(&b, "%-12s %-22s %10s %8s %9s %12s %13s %7s %8s %7s\n",
+		"app", "optimization", "seconds", "retries", "timeouts", "dup-suppr.", "corrupt-drop", "audits", "violated", "result")
 	for _, row := range r.Rows {
 		result := "ok"
 		if row.Err != nil {
 			result = "FAIL: " + row.Err.Error()
 		}
-		fmt.Fprintf(&b, "%-12s %-22s %10.4f %8d %9d %12d %13d %7s\n",
+		fmt.Fprintf(&b, "%-12s %-22s %10.4f %8d %9d %12d %13d %7d %8d %7s\n",
 			row.App, row.Level, row.Seconds,
 			row.Stats.Retries, row.Stats.Timeouts, row.Stats.DupSuppressed, row.Stats.CorruptDropped,
+			row.Stats.ClaimChecks, row.Stats.ClaimViolations,
 			result)
 	}
 	return b.String()
@@ -114,6 +124,9 @@ func chaosOpts(spec ChaosSpec, row int) []rmi.Option {
 	opts := []rmi.Option{rmi.WithFaults(spec.Faults), rmi.WithCallPolicy(spec.Policy)}
 	if spec.Tracer != nil {
 		opts = append(opts, rmi.WithTracer(spec.Tracer))
+	}
+	if spec.ClaimCheck.Every > 0 {
+		opts = append(opts, rmi.WithClaimCheck(spec.ClaimCheck))
 	}
 	return opts
 }

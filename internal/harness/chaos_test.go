@@ -26,11 +26,22 @@ func TestChaosAllLevels(t *testing.T) {
 	}
 	// The fault mix must actually have exercised the recovery paths
 	// somewhere in the matrix — otherwise this test proves nothing.
-	var retries, dups, corrupt int64
+	var retries, dups, corrupt, claims int64
 	for _, row := range report.Rows {
 		retries += row.Stats.Retries
 		dups += row.Stats.DupSuppressed
 		corrupt += row.Stats.CorruptDropped
+		claims += row.Stats.ClaimChecks
+		// The audit layer's acceptance criterion: with the claim
+		// checker sampling under chaos, no compile-time claim (elided
+		// cycle check, reuse-cache shape) may be caught violated.
+		if row.Stats.ClaimViolations != 0 {
+			t.Errorf("%s @ %s: %d claim violations under chaos",
+				row.App, row.Level, row.Stats.ClaimViolations)
+		}
+	}
+	if claims == 0 {
+		t.Error("no claim checks ran; ClaimCheck sampling seems inert")
 	}
 	if retries == 0 {
 		t.Error("no retransmissions occurred; fault injection seems inert")

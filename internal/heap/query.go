@@ -13,19 +13,82 @@ import (
 // self-reference (Figure 9) and a linked list all trip the check;
 // trees and nested arrays do not.
 func (a *Analysis) MayCycleFrom(rootSets []NodeSet) bool {
-	seen := NodeSet{}
-	may := false
+	return a.CycleWitnessFrom(rootSets) != nil
+}
+
+// Witness kinds. A "cycle" witness repeats a node along its own DFS
+// path (a true back edge: traversal without a cycle table would not
+// terminate). A "shared" witness reaches the same node along two
+// distinct paths (a DAG, e.g. a diamond over ONE allocation): safe to
+// traverse, but the cycle table is still required to preserve object
+// identity on the wire, so both kinds trip MayCycleFrom.
+const (
+	WitnessCycle  = "cycle"
+	WitnessShared = "shared"
+)
+
+// CycleWitness explains why MayCycleFrom flagged a root set: the first
+// allocation encountered twice, how it repeated (Kind), and the two
+// field paths that reached it. A nil witness means the traversal
+// proved the graphs repeat-free and the cycle table can be elided.
+type CycleWitness struct {
+	Node      NodeID   // repeated heap node
+	Alloc     int      // its logical allocation number (Figure 2 numbering)
+	Kind      string   // WitnessCycle or WitnessShared
+	FirstPath []string // root+field labels of the first encounter
+	Path      []string // root+field labels of the repeat encounter
+}
+
+func (w *CycleWitness) String() string {
+	if w == nil {
+		return "acyclic"
+	}
+	return fmt.Sprintf("%s: allocation %d reached via %s and again via %s",
+		w.Kind, w.Alloc, strings.Join(w.FirstPath, ""), strings.Join(w.Path, ""))
+}
+
+// edgeLabel renders one field key as a path segment: "Foo.bar" becomes
+// ".bar", the array-element key stays "[]".
+func edgeLabel(k string) string {
+	if k == ElemKey {
+		return "[]"
+	}
+	if i := strings.IndexByte(k, '.'); i >= 0 {
+		return "." + k[i+1:]
+	}
+	return "." + k
+}
+
+// CycleWitnessFrom runs the MayCycleFrom traversal and materializes
+// the denial evidence: the exact same walk (one shared seen-set over
+// all root sets, deterministic order), but recording the path to each
+// node so the first repeat can be reported with both routes to it.
+func (a *Analysis) CycleWitnessFrom(rootSets []NodeSet) *CycleWitness {
+	first := map[NodeID][]string{} // path at first visit
+	onPath := map[NodeID]bool{}    // currently on the DFS stack
+	var path []string
+	var w *CycleWitness
 	var visit func(NodeID)
 	visit = func(n NodeID) {
-		if may {
+		if w != nil {
 			return
 		}
-		if seen.Has(n) {
-			may = true
+		if prior, ok := first[n]; ok {
+			kind := WitnessShared
+			if onPath[n] {
+				kind = WitnessCycle
+			}
+			w = &CycleWitness{
+				Node:      n,
+				Alloc:     a.Nodes[n].Logical,
+				Kind:      kind,
+				FirstPath: append([]string(nil), prior...),
+				Path:      append([]string(nil), path...),
+			}
 			return
 		}
-		seen.Add(n)
-		// Deterministic order keeps diagnostics stable.
+		first[n] = append([]string(nil), path...)
+		onPath[n] = true
 		keys := make([]string, 0, len(a.fields[n]))
 		for k := range a.fields[n] {
 			keys = append(keys, k)
@@ -33,16 +96,27 @@ func (a *Analysis) MayCycleFrom(rootSets []NodeSet) bool {
 		sort.Strings(keys)
 		for _, k := range keys {
 			for _, m := range a.fields[n][k].Sorted() {
+				path = append(path, edgeLabel(k))
 				visit(m)
+				path = path[:len(path)-1]
+				if w != nil {
+					return
+				}
+			}
+		}
+		onPath[n] = false
+	}
+	for i, roots := range rootSets {
+		for _, n := range roots.Sorted() {
+			path = append(path, fmt.Sprintf("root%d", i))
+			visit(n)
+			path = path[:len(path)-1]
+			if w != nil {
+				return w
 			}
 		}
 	}
-	for _, roots := range rootSets {
-		for _, n := range roots.Sorted() {
-			visit(n)
-		}
-	}
-	return may
+	return nil
 }
 
 // DumpGraph renders the subgraph reachable from roots in the style of

@@ -113,3 +113,31 @@ func TestFamilySeriesReuse(t *testing.T) {
 		t.Fatal("Family not stable for same name")
 	}
 }
+
+func TestRegistryCounterVec(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounterVec("cormi_site_calls", "per-site call count", func() []LabeledValue {
+		return []LabeledValue{
+			{Labels: `site="Work.go.1"`, Value: 12},
+			{Labels: `site="Work.go.2"`, Value: 0},
+			{Value: 5}, // label-free sample renders bare
+		}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cormi_site_calls per-site call count",
+		"# TYPE cormi_site_calls counter",
+		`cormi_site_calls{site="Work.go.1"} 12`,
+		`cormi_site_calls{site="Work.go.2"} 0`,
+		"cormi_site_calls 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

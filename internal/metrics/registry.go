@@ -61,13 +61,29 @@ type gauge struct {
 	fn         func() float64
 }
 
-// Registry holds histogram families and gauges and renders them in
-// Prometheus text exposition format.
+// LabeledValue is one sample of a callback counter vector: a
+// pre-rendered Prometheus label string (e.g. `site="Work.go.1"`) plus
+// its current value.
+type LabeledValue struct {
+	Labels string
+	Value  float64
+}
+
+// counterVec is a registered callback metric whose collect function
+// produces a set of labeled series at exposition time.
+type counterVec struct {
+	name, help string
+	collect    func() []LabeledValue
+}
+
+// Registry holds histogram families, gauges and counter vectors and
+// renders them in Prometheus text exposition format.
 type Registry struct {
 	mu     sync.RWMutex
 	fams   map[string]*Family
 	order  []string
 	gauges []gauge
+	vecs   []counterVec
 }
 
 // NewRegistry returns an empty registry.
@@ -102,7 +118,17 @@ func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
 	r.gauges = append(r.gauges, gauge{name: name, help: help, fn: fn})
 }
 
-// WritePrometheus renders every gauge and histogram family in
+// RegisterCounterVec registers a callback counter vector: collect is
+// invoked at exposition time and every returned sample is rendered as
+// one labeled series of the named family (this is how the per-call-
+// site counters appear on /metrics, one series per site).
+func (r *Registry) RegisterCounterVec(name, help string, collect func() []LabeledValue) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vecs = append(r.vecs, counterVec{name: name, help: help, collect: collect})
+}
+
+// WritePrometheus renders every gauge, counter vector and histogram family in
 // Prometheus text exposition format (version 0.0.4). Histogram buckets
 // are cumulative with an explicit +Inf bucket; empty buckets below the
 // highest populated one are emitted so scrape targets see a stable
@@ -110,6 +136,7 @@ func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	gauges := append([]gauge(nil), r.gauges...)
+	vecs := append([]counterVec(nil), r.vecs...)
 	order := append([]string(nil), r.order...)
 	r.mu.RUnlock()
 
@@ -121,6 +148,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.fn()); err != nil {
 			return err
+		}
+	}
+	for _, v := range vecs {
+		if v.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", v.name, v.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", v.name); err != nil {
+			return err
+		}
+		for _, s := range v.collect() {
+			var err error
+			if s.Labels == "" {
+				_, err = fmt.Fprintf(w, "%s %g\n", v.name, s.Value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{%s} %g\n", v.name, s.Labels, s.Value)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	for _, name := range order {

@@ -1,8 +1,10 @@
 // Package obs is the RMI runtime's live introspection surface: an
-// HTTP server exposing Prometheus-text metrics (/metrics), the flight
-// recorder as Chrome-trace JSON (/trace, loadable in Perfetto), phase
-// latency quantiles as JSON (/trace/stats), the standard Go profiler
-// endpoints (/debug/pprof/), and a liveness probe (/healthz).
+// HTTP server exposing Prometheus-text metrics (/metrics), per-call-
+// site runtime counters (/callsites, also labeled on /metrics), the
+// flight recorder as Chrome-trace JSON (/trace, loadable in Perfetto),
+// phase latency quantiles as JSON (/trace/stats), build provenance
+// (/buildinfo), the standard Go profiler endpoints (/debug/pprof/),
+// and a liveness probe (/healthz).
 //
 // The server is strictly a reader: it snapshots counters, histograms
 // and the span ring on each request and never touches the RMI hot
@@ -17,6 +19,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"reflect"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -39,6 +43,10 @@ type Options struct {
 	// gauges share one exposition); a private registry is created if
 	// there is no tracer either.
 	Registry *metrics.Registry
+	// SiteStats supplies the per-call-site counters for /callsites and
+	// the labeled cormi_site_* series on /metrics (typically
+	// Cluster.SiteStats, or an aggregation across clusters).
+	SiteStats func() []stats.SiteStat
 }
 
 // Server is a running introspection endpoint.
@@ -68,6 +76,9 @@ func NewServer(opts Options) *Server {
 	registerPoolGauges(reg)
 	if opts.Tracer != nil {
 		registerTracerGauges(reg, opts.Tracer)
+	}
+	if opts.SiteStats != nil {
+		registerSiteVecs(reg, opts.SiteStats)
 	}
 
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -99,6 +110,26 @@ func NewServer(opts Options) *Server {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
+	})
+	s.mux.HandleFunc("/callsites", func(w http.ResponseWriter, r *http.Request) {
+		if opts.SiteStats == nil {
+			http.Error(w, "no call-site stats source attached", http.StatusNotFound)
+			return
+		}
+		ss := opts.SiteStats()
+		if ss == nil {
+			ss = []stats.SiteStat{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ss)
+	})
+	s.mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(readBuildInfo())
 	})
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -171,6 +202,66 @@ func registerPoolGauges(reg *metrics.Registry) {
 		func() float64 { return float64(wire.Stats().Puts) })
 	reg.RegisterGauge("cormi_wire_buf_outstanding", "frame-pool buffers currently owned by callers (gets - puts)",
 		func() float64 { return float64(wire.Stats().Outstanding) })
+}
+
+// registerSiteVecs exposes the per-call-site counters as labeled
+// counter vectors — one cormi_site_* family per SiteStat counter
+// field, one series per site. Walking SiteStat with reflection keeps
+// the family set complete as counters are added, mirroring
+// registerCounterGauges.
+func registerSiteVecs(reg *metrics.Registry, sites func() []stats.SiteStat) {
+	st := reflect.TypeOf(stats.SiteStat{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		idx := i
+		reg.RegisterCounterVec("cormi_site_"+snakeCase(f.Name), "per-call-site counter "+f.Name,
+			func() []metrics.LabeledValue {
+				ss := sites()
+				out := make([]metrics.LabeledValue, 0, len(ss))
+				for _, s := range ss {
+					out = append(out, metrics.LabeledValue{
+						Labels: fmt.Sprintf("site=%q", s.Site),
+						Value:  float64(reflect.ValueOf(s).Field(idx).Int()),
+					})
+				}
+				return out
+			})
+	}
+}
+
+// buildInfo is the /buildinfo JSON shape: enough provenance to match
+// a running server to a source revision.
+type buildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module"`
+	Version     string `json:"version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	bi := buildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value == "true"
+		}
+	}
+	return bi
 }
 
 func registerTracerGauges(reg *metrics.Registry, tr *trace.Tracer) {

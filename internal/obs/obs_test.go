@@ -186,3 +186,84 @@ func TestCounterGaugesCoverEveryField(t *testing.T) {
 		}
 	}
 }
+
+func TestCallsitesEndpoint(t *testing.T) {
+	c, tr := startTracedCluster(t)
+	s, err := Serve("127.0.0.1:0", Options{Tracer: tr, Counters: c.Counters, SiteStats: c.SiteStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/callsites")
+	if code != http.StatusOK {
+		t.Fatalf("/callsites status %d", code)
+	}
+	var sites []stats.SiteStat
+	if err := json.Unmarshal([]byte(body), &sites); err != nil {
+		t.Fatalf("/callsites is not JSON: %v\n%s", err, body)
+	}
+	if len(sites) != 1 || sites[0].Site != "obs.echo.1" {
+		t.Fatalf("/callsites = %+v, want one obs.echo.1 entry", sites)
+	}
+	if sites[0].Calls != 1 || sites[0].WireBytes <= 0 {
+		t.Errorf("live counters not served: %+v", sites[0])
+	}
+	if !strings.Contains(body, `"wire_bytes"`) {
+		t.Errorf("/callsites keys not snake_case: %s", body)
+	}
+
+	// The same counters appear as labeled series on /metrics, one
+	// cormi_site_* family per SiteStat counter field.
+	_, mbody := get(t, base+"/metrics")
+	for _, want := range []string{
+		`cormi_site_calls{site="obs.echo.1"} 1`,
+		`cormi_site_wire_bytes{site="obs.echo.1"}`,
+		`cormi_site_reuse_hits{site="obs.echo.1"}`,
+		`cormi_site_claim_violations{site="obs.echo.1"} 0`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestCallsitesWithoutSource(t *testing.T) {
+	var c stats.Counters
+	s, err := Serve("127.0.0.1:0", Options{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if code, _ := get(t, "http://"+s.Addr()+"/callsites"); code != http.StatusNotFound {
+		t.Fatalf("/callsites without source = %d, want 404", code)
+	}
+}
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	var c stats.Counters
+	s, err := Serve("127.0.0.1:0", Options{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	code, body := get(t, "http://"+s.Addr()+"/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("/buildinfo status %d", code)
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+		Module    string `json:"module"`
+	}
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		t.Fatalf("/buildinfo is not JSON: %v\n%s", err, body)
+	}
+	if bi.GoVersion == "" {
+		t.Error("/buildinfo missing go_version")
+	}
+	if bi.Module != "cormi" {
+		t.Errorf("/buildinfo module = %q, want cormi", bi.Module)
+	}
+}

@@ -1,0 +1,183 @@
+package rmi
+
+import (
+	"testing"
+
+	"cormi/internal/model"
+	"cormi/internal/serial"
+)
+
+// Tests for the optimization audit layer: per-call-site counters
+// (Cluster.SiteStats) and the sampled runtime claim checker
+// (WithClaimCheck).
+
+func TestSiteStatsCounting(t *testing.T) {
+	e := newEnv(t, 2)
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSiteReuseCycle, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", false, true)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	localRef := e.c.Node(0).Export(e.sumService())
+	if _, err := cs.Invoke(e.c.Node(0), localRef, []model.Value{model.Ref(e.makeList(5))}); err != nil {
+		t.Fatal(err)
+	}
+
+	ss := e.c.SiteStats()
+	if len(ss) != 1 {
+		t.Fatalf("SiteStats returned %d entries, want 1", len(ss))
+	}
+	s := ss[0]
+	if s.Site != "t.sum.1" {
+		t.Errorf("site name = %q", s.Site)
+	}
+	if s.Calls != 3 || s.LocalCalls != 1 {
+		t.Errorf("calls = %d (local %d), want 3 (1)", s.Calls, s.LocalCalls)
+	}
+	if s.WireBytes <= 0 {
+		t.Errorf("wire bytes = %d, want > 0", s.WireBytes)
+	}
+	// The second remote call overwrites the first call's cached
+	// argument graphs on the callee.
+	if s.ReuseHits < 1 {
+		t.Errorf("reuse hits = %d, want >= 1", s.ReuseHits)
+	}
+	if s.ReuseMisses < 1 {
+		t.Errorf("reuse misses = %d, want >= 1", s.ReuseMisses)
+	}
+	// One elided argument table per call (the ret plan is primitive).
+	if s.CycleTablesAvoided != 3 {
+		t.Errorf("cycle tables avoided = %d, want 3", s.CycleTablesAvoided)
+	}
+	// Audit mode is off: no checks, no violations.
+	if s.ClaimChecks != 0 || s.ClaimViolations != 0 {
+		t.Errorf("claim counters = %d/%d, want 0/0", s.ClaimChecks, s.ClaimViolations)
+	}
+}
+
+func TestClaimCheckCleanRun(t *testing.T) {
+	e := newEnv(t, 2, WithClaimCheck(ClaimCheckPolicy{Every: 1}))
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSiteReuseCycle, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", false, true)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	for i := 0; i < 5; i++ {
+		rets, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(4))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rets[0].I != 6 {
+			t.Fatalf("sum = %d, want 6", rets[0].I)
+		}
+	}
+	snap := e.c.Counters.Snapshot()
+	if snap.ClaimChecks == 0 {
+		t.Error("claim checker sampled no calls at Every=1")
+	}
+	if snap.ClaimViolations != 0 {
+		t.Errorf("claim violations = %d on honest claims", snap.ClaimViolations)
+	}
+	if s := e.c.SiteStats()[0]; s.ClaimChecks == 0 || s.ClaimViolations != 0 {
+		t.Errorf("site claim counters = %d/%d, want >0/0", s.ClaimChecks, s.ClaimViolations)
+	}
+}
+
+// cyclicPair builds a two-node reference cycle a -> b -> a.
+func (e *testEnv) cyclicPair() *model.Object {
+	a := model.New(e.node)
+	b := model.New(e.node)
+	a.Set("v", model.Int(1))
+	b.Set("v", model.Int(2))
+	a.Set("next", model.Ref(b))
+	b.Set("next", model.Ref(a))
+	return a
+}
+
+// TestClaimCheckCatchesViolationRemote feeds a genuinely cyclic graph
+// to a call site whose plans claim acyclicity. Without the audit-mode
+// fallback the writer would never terminate; with it, the violation is
+// counted and the message falls back to the cycle table, so the call
+// still completes with identity preserved in both directions.
+func TestClaimCheckCatchesViolationRemote(t *testing.T) {
+	e := newEnv(t, 2, WithClaimCheck(ClaimCheckPolicy{Every: 1}))
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSiteCycle, SiteSpec{
+		Name: "t.mut.1", Method: "mutate",
+		ArgPlans: []*serial.Plan{e.listPlan("t.mut.1", false, false)},
+		RetPlans: []*serial.Plan{e.listPlan("t.mut.1r", false, false)},
+	})
+	rets, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.cyclicPair())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rets[0].O
+	if r.Get("v").I != -1 {
+		t.Errorf("mutate lost: v = %d", r.Get("v").I)
+	}
+	if r.GetRef("next").GetRef("next") != r {
+		t.Error("cycle identity lost through the fallback round trip")
+	}
+	snap := e.c.Counters.Snapshot()
+	// Both directions serialize the cyclic graph: the caller's argument
+	// write and the callee's reply write each refute the claim.
+	if snap.ClaimViolations < 2 {
+		t.Errorf("claim violations = %d, want >= 2", snap.ClaimViolations)
+	}
+	if s := e.c.SiteStats()[0]; s.ClaimViolations != snap.ClaimViolations {
+		t.Errorf("site violations = %d, global = %d", s.ClaimViolations, snap.ClaimViolations)
+	}
+}
+
+// TestClaimCheckCatchesViolationLocal exercises the same lie on the
+// node-local cloning path.
+func TestClaimCheckCatchesViolationLocal(t *testing.T) {
+	e := newEnv(t, 1, WithClaimCheck(ClaimCheckPolicy{Every: 1}))
+	ref := e.c.Node(0).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSiteCycle, SiteSpec{
+		Name: "t.mut.1", Method: "mutate",
+		ArgPlans: []*serial.Plan{e.listPlan("t.mut.1", false, false)},
+		RetPlans: []*serial.Plan{e.listPlan("t.mut.1r", false, false)},
+	})
+	rets, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.cyclicPair())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rets[0].O
+	if r.GetRef("next").GetRef("next") != r {
+		t.Error("cycle identity lost through the local clone fallback")
+	}
+	if snap := e.c.Counters.Snapshot(); snap.ClaimViolations < 2 {
+		t.Errorf("claim violations = %d, want >= 2 (args + rets)", snap.ClaimViolations)
+	}
+}
+
+// TestClaimCheckSampling checks the 1-in-N counter sample: with
+// Every=4 and 8 calls, exactly 2 caller-side audits fire (the callee
+// draws from the same cluster-wide counter, so the total is exact).
+func TestClaimCheckSampling(t *testing.T) {
+	e := newEnv(t, 2, WithClaimCheck(ClaimCheckPolicy{Every: 4}))
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSiteCycle, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", false, false)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	for i := 0; i < 8; i++ {
+		if _, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 calls tick the counter twice each (caller + callee): 16 ticks
+	// at Every=4 is exactly 4 audited decisions.
+	if snap := e.c.Counters.Snapshot(); snap.ClaimChecks != 4 {
+		t.Errorf("claim checks = %d, want 4", snap.ClaimChecks)
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"cormi/internal/model"
 	"cormi/internal/serial"
+	"cormi/internal/simtime"
+	"cormi/internal/stats"
 	"cormi/internal/trace"
 	"cormi/internal/transport"
 	"cormi/internal/wire"
@@ -47,6 +49,22 @@ type CallSite struct {
 	// slice recycling for the whole site.
 	argScratch bool
 	retScratch bool
+
+	// statShards accumulates this site's runtime counters, one shard
+	// per node. They are always on — each call does a handful of atomic
+	// adds and no allocations — and are served (summed) by the obs
+	// /callsites endpoint through Cluster.SiteStats. Sharding by the
+	// acting node keeps the atomics uncontended (a SiteCounters block
+	// is exactly one cache line) and keeps the writes off the cache
+	// lines holding the read-only plan data above.
+	statShards []stats.SiteCounters
+
+	// argTablesElided/retTablesElided count the reference values per
+	// message that §3.2 lets the writer serialize without allocating a
+	// cycle table; each successful serialization adds them to the
+	// CycleTablesAvoided counter.
+	argTablesElided int64
+	retTablesElided int64
 }
 
 // SiteSpec describes a call site to register.
@@ -84,19 +102,24 @@ func (c *Cluster) NewCallSite(level OptLevel, spec SiteSpec) (*CallSite, error) 
 		numRet = len(spec.RetPlans)
 	}
 	cs := &CallSite{
-		Name:      spec.Name,
-		Method:    spec.Method,
-		cfg:       scfg,
-		argPlans:  spec.ArgPlans,
-		retPlans:  spec.RetPlans,
-		numRet:    numRet,
-		ignoreRet: spec.IgnoreRet,
-		argCaches: make([]serial.ReuseCache, c.Size()),
-		retCaches: make([]serial.ReuseCache, c.Size()),
+		Name:       spec.Name,
+		Method:     spec.Method,
+		cfg:        scfg,
+		argPlans:   spec.ArgPlans,
+		retPlans:   spec.RetPlans,
+		numRet:     numRet,
+		ignoreRet:  spec.IgnoreRet,
+		argCaches:  make([]serial.ReuseCache, c.Size()),
+		retCaches:  make([]serial.ReuseCache, c.Size()),
+		statShards: make([]stats.SiteCounters, c.Size()),
 	}
 	if scfg.Mode == serial.ModeSite && scfg.Reuse {
 		cs.argScratch = refPlansReusable(spec.ArgPlans)
 		cs.retScratch = refPlansReusable(spec.RetPlans)
+	}
+	if scfg.Mode == serial.ModeSite && scfg.CycleElim {
+		cs.argTablesElided = tablesElided(spec.ArgPlans)
+		cs.retTablesElided = tablesElided(spec.RetPlans)
 	}
 	c.siteMu.Lock()
 	cs.ID = int32(len(c.sites))
@@ -116,6 +139,76 @@ func (c *Cluster) MustNewCallSite(level OptLevel, spec SiteSpec) *CallSite {
 
 // Config exposes the site's serializer configuration (for tests).
 func (cs *CallSite) Config() serial.Config { return cs.cfg }
+
+// Stats sums the per-node counter shards into one live snapshot.
+func (cs *CallSite) Stats() stats.SiteStat {
+	out := stats.SiteStat{Site: cs.Name}
+	for i := range cs.statShards {
+		out = out.Add(cs.statShards[i].Snapshot(cs.Name))
+	}
+	return out
+}
+
+// tablesElided counts the reference plans proven acyclic by §3.2 —
+// each one is a cycle-table allocation the writer skips per message.
+func tablesElided(plans []*serial.Plan) int64 {
+	var n int64
+	for _, p := range plans {
+		if p != nil && p.Kind == model.FRef && !p.NeedCycle {
+			n++
+		}
+	}
+	return n
+}
+
+// claimViolated records one refuted compile-time claim: per-site and
+// global counters plus a flight-recorder dump, so the evidence around
+// the mis-prediction is preserved (nil tracer = no-op).
+func (cs *CallSite) claimViolated(c *Cluster, st *stats.SiteCounters) {
+	st.ClaimViolations.Add(1)
+	c.Counters.ClaimViolations.Add(1)
+	c.tracer.DumpFailure("claim-violation")
+}
+
+// writeChecked is WriteValues with the audit-mode §3.2 re-verification
+// in front: on sampled calls at a cycle-eliding site the value graphs
+// are walked first, and a repeated object — the static analysis
+// mis-predicted the runtime heap — falls back to serializing WITH the
+// cycle table. The fallback is wire-compatible (readers accept handle
+// markers unconditionally), so a refuted claim becomes a counted,
+// dumped event instead of silent corruption or a non-terminating
+// writer.
+func (cs *CallSite) writeChecked(c *Cluster, st *stats.SiteCounters, m *wire.Message, vals []model.Value, plans []*serial.Plan, audit bool) (simtime.OpCount, error) {
+	if audit && cs.cfg.Mode == serial.ModeSite && cs.cfg.CycleElim {
+		if v := serial.CheckAcyclic(vals, plans); v != nil {
+			cs.claimViolated(c, st)
+			cfg := cs.cfg
+			cfg.CycleElim = false
+			return serial.WriteValues(m, vals, plans, cfg, c.Counters)
+		}
+	}
+	return serial.WriteValues(m, vals, plans, cs.cfg, c.Counters)
+}
+
+// takeDonors draws the donor graphs for one deserialization from a
+// reuse cache, counting the hit or miss, and — on audited calls —
+// validates donor shapes against the plans first: a donor whose class
+// differs from the plan's prediction refutes the §3.3 claim and is
+// nil'ed so the reader allocates fresh objects instead.
+func (cs *CallSite) takeDonors(c *Cluster, st *stats.SiteCounters, cache *serial.ReuseCache, plans []*serial.Plan, audit bool) ([]*model.Object, []model.Value) {
+	cached, scratch := cache.Take()
+	if cached == nil {
+		st.ReuseMisses.Add(1)
+	} else {
+		st.ReuseHits.Add(1)
+		if audit {
+			for range serial.CheckReuseShape(cached, plans) {
+				cs.claimViolated(c, st)
+			}
+		}
+	}
+	return cached, scratch
+}
 
 // refPlansReusable reports whether every plan is a reference carrying
 // the escape-analysis reuse proof — the precondition for recycling the
@@ -183,6 +276,14 @@ func (cs *CallSite) InvokeWithPolicy(n *Node, ref Ref, args []model.Value, pol C
 func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.Value, error) {
 	c := n.cluster
 	c.Counters.LocalRPCs.Add(1)
+	st := &cs.statShards[n.ID]
+	st.Calls.Add(1)
+	st.LocalCalls.Add(1)
+	audit := c.auditCall()
+	if audit {
+		st.ClaimChecks.Add(1)
+		c.Counters.ClaimChecks.Add(1)
+	}
 	svc, ok := n.lookup(ref.Obj)
 	if !ok {
 		return nil, fmt.Errorf("rmi: no object %d on node %d", ref.Obj, n.ID)
@@ -192,9 +293,12 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 		return nil, fmt.Errorf("rmi: %s has no method %q", svc.Name, cs.Method)
 	}
 
-	clonedArgs, argRoots, err := cs.cloneThroughSerializer(n, args, cs.argPlans, &cs.argCaches[n.ID], cs.argScratch)
+	clonedArgs, argRoots, err := cs.cloneThroughSerializer(n, args, cs.argPlans, &cs.argCaches[n.ID], cs.argScratch, audit)
 	if err != nil {
 		return nil, err
+	}
+	if cs.argTablesElided != 0 {
+		st.CycleTablesAvoided.Add(cs.argTablesElided)
 	}
 	// Same panic semantics as the remote path: a panicking method
 	// becomes an error carrying the stack, regardless of placement.
@@ -225,9 +329,12 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 		// the return value skips the result-cloning step.
 		return nil, nil
 	}
-	cloned, retRoots, err := cs.cloneThroughSerializer(n, rets, cs.retPlans, &cs.retCaches[n.ID], cs.retScratch)
+	cloned, retRoots, err := cs.cloneThroughSerializer(n, rets, cs.retPlans, &cs.retCaches[n.ID], cs.retScratch, audit)
 	if err != nil {
 		return nil, err
+	}
+	if cs.retTablesElided != 0 {
+		st.CycleTablesAvoided.Add(cs.retTablesElided)
 	}
 	if cs.cfg.Reuse {
 		var scratch []model.Value
@@ -244,13 +351,14 @@ func (cs *CallSite) invokeLocal(n *Node, ref Ref, args []model.Value) ([]model.V
 // donor graphs from cache; the caller is responsible for putting the
 // returned roots back once the values are dead. The round trip runs
 // through one pooled message: written forward, rewound, read back.
-func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []*serial.Plan, cache *serial.ReuseCache, useScratch bool) ([]model.Value, []*model.Object, error) {
+func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []*serial.Plan, cache *serial.ReuseCache, useScratch, audit bool) ([]model.Value, []*model.Object, error) {
 	c := n.cluster
 	if len(vals) == 0 {
 		return vals, nil, nil
 	}
+	st := &cs.statShards[n.ID]
 	m := wire.Get()
-	wops, err := serial.WriteValues(m, vals, plans, cs.cfg, c.Counters)
+	wops, err := cs.writeChecked(c, st, m, vals, plans, audit)
 	if err != nil {
 		m.Release()
 		return nil, nil, err
@@ -258,7 +366,7 @@ func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []
 	var cached []*model.Object
 	var scratch []model.Value
 	if cs.cfg.Reuse {
-		cached, scratch = cache.Take()
+		cached, scratch = cs.takeDonors(c, st, cache, plans, audit)
 		if !useScratch {
 			scratch = nil
 		}
@@ -277,6 +385,13 @@ func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []
 func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallPolicy) ([]model.Value, error) {
 	c := n.cluster
 	c.Counters.RemoteRPCs.Add(1)
+	st := &cs.statShards[n.ID]
+	st.Calls.Add(1)
+	audit := c.auditCall()
+	if audit {
+		st.ClaimChecks.Add(1)
+		c.Counters.ClaimChecks.Add(1)
+	}
 
 	attempts := pol.attempts()
 	seq := n.seq.Add(1)
@@ -299,12 +414,15 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	m.AppendInt64(ref.Obj)
 	m.AppendInt64(seq)
 	m.AppendInt32(int32(len(args)))
-	ops, err := serial.WriteValues(m, args, cs.argPlans, cs.cfg, c.Counters)
+	ops, err := cs.writeChecked(c, st, m, args, cs.argPlans, audit)
 	if err != nil {
 		m.Release()
 		sp.Fail("marshal: " + err.Error())
 		sp.End()
 		return nil, err
+	}
+	if cs.argTablesElided != 0 {
+		st.CycleTablesAvoided.Add(cs.argTablesElided)
 	}
 	n.Clock.Advance(c.Cost.CostNS(ops))
 
@@ -332,6 +450,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	for attempt := 1; ; attempt++ {
 		c.Counters.Messages.Add(1)
 		c.Counters.WireBytes.Add(wireLen)
+		st.WireBytes.Add(wireLen)
 		pkt := transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: frame}
 		if sp != nil {
 			pkt.Wall = trace.Now()
@@ -451,7 +570,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		var cached []*model.Object
 		var scratch []model.Value
 		if cs.cfg.Reuse {
-			cached, scratch = cs.retCaches[n.ID].Take()
+			cached, scratch = cs.takeDonors(c, st, &cs.retCaches[n.ID], cs.retPlans, audit)
 			if !cs.retScratch {
 				scratch = nil
 			}

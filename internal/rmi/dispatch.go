@@ -174,10 +174,18 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// shapes match — and hand the copies to the user code. A
 	// deserialization error becomes a remote-exception reply, not a
 	// dead receive loop.
+	// The callee samples its own audit decision: it guards the donor
+	// shapes consumed here and the reply serialization in runMethod.
+	st := &cs.statShards[n.ID]
+	audit := c.auditCall()
+	if audit {
+		st.ClaimChecks.Add(1)
+		c.Counters.ClaimChecks.Add(1)
+	}
 	var cached []*model.Object
 	var scratch []model.Value
 	if cs.cfg.Reuse {
-		cached, scratch = cs.argCaches[n.ID].Take()
+		cached, scratch = cs.takeDonors(c, st, &cs.argCaches[n.ID], cs.argPlans, audit)
 		if !cs.argScratch {
 			scratch = nil
 		}
@@ -193,14 +201,14 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 
 	// "a new thread is created to invoke the user's code" (Figure 1).
 	sp.BeginPhase(trace.PhaseDispatch)
-	go n.runMethod(cs, method, p.From, seq, start, args, roots, track, sp)
+	go n.runMethod(cs, method, p.From, seq, start, args, roots, track, audit, sp)
 }
 
 // runMethod executes the user method, returns the cached argument
 // graphs to the call site, and ships the reply (or a bare ack when the
 // call site ignores the return value). A panic in user code is
 // converted into a remote-exception reply carrying the callee's stack.
-func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track bool, sp *trace.Span) {
+func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track, audit bool, sp *trace.Span) {
 	c := n.cluster
 	sp.EndPhase(trace.PhaseDispatch)
 	call := &Call{Node: n, From: from, Site: cs, start: start}
@@ -240,6 +248,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	}
 
 	sp.BeginPhase(trace.PhaseReplySerialize)
+	st := &cs.statShards[n.ID]
 	m := wire.Get()
 	m.AppendByte(msgReply)
 	m.AppendInt64(seq)
@@ -252,14 +261,18 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	} else {
 		m.AppendByte(replyValues)
 		m.AppendInt32(int32(len(rets)))
-		ops, werr := serial.WriteValues(m, rets, cs.retPlans, cs.cfg, c.Counters)
+		ops, werr := cs.writeChecked(c, st, m, rets, cs.retPlans, audit)
 		if werr != nil {
 			m.Release()
 			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track, sp)
 			return
 		}
+		if cs.retTablesElided != 0 {
+			st.CycleTablesAvoided.Add(cs.retTablesElided)
+		}
 		marshalNS = c.Cost.CostNS(ops)
 	}
+	st.WireBytes.Add(int64(m.Len()))
 	n.sendReply(from, seq, done+marshalNS, m, track, sp)
 }
 

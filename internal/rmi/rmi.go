@@ -172,6 +172,13 @@ type Cluster struct {
 	// tracing costs one nil check per call and zero allocations.
 	tracer *trace.Tracer
 
+	// claimEvery > 0 enables audit mode: every claimEvery-th
+	// invocation (cluster-wide, counted by claimTick) re-verifies the
+	// compile-time claims the optimizer acted on. Zero — the default —
+	// costs one predictable branch per call.
+	claimEvery int64
+	claimTick  atomic.Int64
+
 	siteMu sync.RWMutex
 	sites  []*CallSite
 
@@ -184,15 +191,16 @@ type Cluster struct {
 type Option func(*clusterOpts)
 
 type clusterOpts struct {
-	net      transport.Network
-	owns     bool
-	cost     simtime.CostModel
-	registry *model.Registry
-	depth    int
-	policy   CallPolicy
-	faults   *transport.FaultConfig
-	dedupCap int
-	tracer   *trace.Tracer
+	net        transport.Network
+	owns       bool
+	cost       simtime.CostModel
+	registry   *model.Registry
+	depth      int
+	policy     CallPolicy
+	faults     *transport.FaultConfig
+	dedupCap   int
+	tracer     *trace.Tracer
+	claimEvery int64
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -238,6 +246,27 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(o *clusterOpts) { o.tracer = t }
 }
 
+// ClaimCheckPolicy configures the audit-mode claim checker. On every
+// Every-th invocation, cluster-wide, the runtime re-verifies the
+// compile-time claims the optimizer acted on: the §3.2 acyclicity
+// claim before serializing without a cycle table (a refuted claim
+// falls back to the table, wire-compatibly) and the §3.3 donor-shape
+// claim before overwriting a cached graph (a mismatched donor is
+// dropped so the reader allocates fresh). Each refutation increments
+// the ClaimViolations counters and triggers a flight-recorder dump.
+// Every <= 0 disables checking (the default); Every == 1 audits every
+// call. Sampling is a deterministic counter, not an RNG, so runs are
+// reproducible.
+type ClaimCheckPolicy struct {
+	Every int64
+}
+
+// WithClaimCheck enables sampled runtime verification of compile-time
+// optimizer claims (audit mode, off by default).
+func WithClaimCheck(p ClaimCheckPolicy) Option {
+	return func(o *clusterOpts) { o.claimEvery = p.Every }
+}
+
 // New creates a cluster of n nodes (default: in-process channel
 // network) and starts their receive loops.
 func New(n int, opts ...Option) *Cluster {
@@ -257,16 +286,17 @@ func New(n int, opts ...Option) *Cluster {
 	}
 	_, faulty := o.net.(*transport.FaultyNetwork)
 	c := &Cluster{
-		Registry: o.registry,
-		Counters: &stats.Counters{},
-		Cost:     o.cost,
-		net:      o.net,
-		owns:     o.owns,
-		policy:   o.policy,
-		dedupCap: o.dedupCap,
-		faulty:   faulty,
-		tracer:   o.tracer,
-		done:     make(chan struct{}),
+		Registry:   o.registry,
+		Counters:   &stats.Counters{},
+		Cost:       o.cost,
+		net:        o.net,
+		owns:       o.owns,
+		policy:     o.policy,
+		dedupCap:   o.dedupCap,
+		faulty:     faulty,
+		tracer:     o.tracer,
+		claimEvery: o.claimEvery,
+		done:       make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
@@ -334,6 +364,29 @@ func (c *Cluster) ResetClocks() {
 	for _, n := range c.nodes {
 		n.Clock.Reset()
 	}
+}
+
+// auditCall decides whether this invocation is claim-checked: a
+// 1-in-claimEvery counter sample — deterministic, no RNG on the hot
+// path, and a single predictable branch when auditing is off.
+func (c *Cluster) auditCall() bool {
+	if c.claimEvery <= 0 {
+		return false
+	}
+	return c.claimTick.Add(1)%c.claimEvery == 0
+}
+
+// SiteStats snapshots the per-call-site runtime counters of every
+// registered site, in registration (site-ID) order. This is what the
+// obs /callsites endpoint serves.
+func (c *Cluster) SiteStats() []stats.SiteStat {
+	c.siteMu.RLock()
+	defer c.siteMu.RUnlock()
+	out := make([]stats.SiteStat, 0, len(c.sites))
+	for _, cs := range c.sites {
+		out = append(out, cs.Stats())
+	}
+	return out
 }
 
 func (c *Cluster) site(id int32) (*CallSite, bool) {

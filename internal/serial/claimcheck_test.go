@@ -1,0 +1,112 @@
+package serial
+
+import (
+	"testing"
+
+	"cormi/internal/model"
+)
+
+func (w *testWorld) mkLeaf(x int64) *model.Object {
+	o := model.New(w.leaf)
+	o.Fields[0] = model.Value{Kind: model.FInt, I: x}
+	return o
+}
+
+func (w *testWorld) mkPair(l, r *model.Object) *model.Object {
+	o := model.New(w.pair)
+	o.Fields[0] = model.Value{Kind: model.FRef, O: l}
+	o.Fields[1] = model.Value{Kind: model.FRef, O: r}
+	return o
+}
+
+// acyclicPairPlan is the pair plan with the §3.2 claim attached: the
+// compiler decided no cycle table is needed.
+func (w *testWorld) acyclicPairPlan() *Plan {
+	p := w.pairPlan()
+	p.NeedCycle = false
+	return p
+}
+
+func TestCheckAcyclicHoldsOnTree(t *testing.T) {
+	w := newWorld()
+	pair := w.mkPair(w.mkLeaf(1), w.mkLeaf(2))
+	vals := []model.Value{{Kind: model.FRef, O: pair}}
+	if v := CheckAcyclic(vals, []*Plan{w.acyclicPairPlan()}); v != nil {
+		t.Fatalf("tree refuted the acyclic claim: %v", v)
+	}
+}
+
+func TestCheckAcyclicCatchesSharing(t *testing.T) {
+	w := newWorld()
+	shared := w.mkLeaf(7)
+	pair := w.mkPair(shared, shared)
+	vals := []model.Value{{Kind: model.FRef, O: pair}}
+	v := CheckAcyclic(vals, []*Plan{w.acyclicPairPlan()})
+	if v == nil || v.Claim != "acyclic" || v.Class != "Leaf" {
+		t.Fatalf("shared leaf not caught: %v", v)
+	}
+}
+
+func TestCheckAcyclicCatchesTrueCycleAndTerminates(t *testing.T) {
+	w := newWorld()
+	n := model.New(w.node)
+	n.Fields[0] = model.Value{Kind: model.FInt, I: 1}
+	n.Fields[1] = model.Value{Kind: model.FRef, O: n} // self loop
+	plan := w.nodeListPlan(false)
+	plan.NeedCycle = false // claim it acyclic — a lie
+	vals := []model.Value{{Kind: model.FRef, O: n}}
+	v := CheckAcyclic(vals, []*Plan{plan})
+	if v == nil || v.Class != "Node" {
+		t.Fatalf("self loop not caught: %v", v)
+	}
+}
+
+func TestCheckAcyclicSharedAcrossValues(t *testing.T) {
+	// Figure 8 shape: the SAME object as two separate values must
+	// refute the claim even though each graph alone is repeat-free.
+	w := newWorld()
+	shared := w.mkLeaf(3)
+	leafNP := &NodePlan{Class: w.leaf, Steps: []Step{{Op: OpInt, Field: 0, FieldName: "x"}}}
+	mk := func(site string) *Plan {
+		return &Plan{Site: site, Kind: model.FRef, Root: leafNP, NeedCycle: false}
+	}
+	vals := []model.Value{{Kind: model.FRef, O: shared}, {Kind: model.FRef, O: shared}}
+	v := CheckAcyclic(vals, []*Plan{mk("F.a.1"), mk("F.a.1")})
+	if v == nil || v.Index != 1 {
+		t.Fatalf("cross-value sharing not caught: %v", v)
+	}
+}
+
+func TestCheckAcyclicSkipsCycleKeptPlans(t *testing.T) {
+	// A plan that keeps the table makes no claim: its repeats are
+	// legal and must not be reported.
+	w := newWorld()
+	n := model.New(w.node)
+	n.Fields[1] = model.Value{Kind: model.FRef, O: n}
+	vals := []model.Value{{Kind: model.FRef, O: n}}
+	if v := CheckAcyclic(vals, []*Plan{w.nodeListPlan(false)}); v != nil {
+		t.Fatalf("cycle-kept plan reported: %v", v)
+	}
+}
+
+func TestCheckReuseShape(t *testing.T) {
+	w := newWorld()
+	plan := w.acyclicPairPlan()
+	good := w.mkPair(w.mkLeaf(1), w.mkLeaf(2))
+	bad := w.mkLeaf(9) // wrong class for a Pair plan
+	donors := []*model.Object{good, bad}
+	out := CheckReuseShape(donors, []*Plan{plan, plan})
+	if len(out) != 1 || out[0].Index != 1 || out[0].Claim != "reuse-shape" || out[0].Class != "Leaf" {
+		t.Fatalf("reuse-shape check = %v", out)
+	}
+	if donors[0] != good {
+		t.Fatal("compatible donor dropped")
+	}
+	if donors[1] != nil {
+		t.Fatal("incompatible donor not nil'ed")
+	}
+	// Nil donors and primitive/dynamic plans are skipped.
+	if out := CheckReuseShape([]*model.Object{nil}, []*Plan{plan}); len(out) != 0 {
+		t.Fatalf("nil donor reported: %v", out)
+	}
+}

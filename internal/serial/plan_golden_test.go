@@ -1,0 +1,81 @@
+package serial
+
+import (
+	"testing"
+
+	"cormi/internal/model"
+)
+
+// Golden tests pinning Plan.Pseudocode() output — the rendering the
+// rmic dump/explain tools show users — against drift. One acyclic
+// plan, one cyclic plan, one reuse-enabled plan.
+
+func TestPseudocodeGoldenAcyclic(t *testing.T) {
+	w := newWorld()
+	// Distinct leaf plans: a tree, fully inlined, no cycle table.
+	mkLeafNP := func() *NodePlan {
+		return &NodePlan{Class: w.leaf, Steps: []Step{{Op: OpInt, Field: 0, FieldName: "x"}}}
+	}
+	pairNP := &NodePlan{Class: w.pair, Steps: []Step{
+		{Op: OpRef, Field: 0, FieldName: "l", Target: mkLeafNP()},
+		{Op: OpRef, Field: 1, FieldName: "r", Target: mkLeafNP()},
+	}}
+	p := &Plan{Site: "W.take.1", Kind: model.FRef, Root: pairNP}
+	const want = `// call-site-specific marshaler (cycle table: false, reuse: false)
+void marshaler_W.take.1(Pair s) {
+    Message m = new Message();
+    m.append_int(s.l.x); // inlined
+    m.append_int(s.r.x); // inlined
+    m.send();
+    delete m;
+    wait_for_return_value();
+}
+`
+	if got := p.Pseudocode(); got != want {
+		t.Errorf("acyclic pseudocode drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPseudocodeGoldenCyclic(t *testing.T) {
+	w := newWorld()
+	const want = `// call-site-specific marshaler (cycle table: true, reuse: false)
+void marshaler_Foo.send.1(Node s) {
+    Message m = new Message();
+    CycleTable tbl = new CycleTable();
+    if (tbl.seen(s)) { m.append_handle(s); } else {
+        m.append_int(s.v); // inlined
+        if (tbl.seen(s.next)) { m.append_handle(s.next); } else {
+            serialize_Node(m, s.next); // recursive structure, shared body
+        }
+    }
+    m.send();
+    delete m;
+    wait_for_return_value();
+}
+`
+	if got := w.nodeListPlan(false).Pseudocode(); got != want {
+		t.Errorf("cyclic pseudocode drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPseudocodeGoldenReuse(t *testing.T) {
+	w := newWorld()
+	const want = `// call-site-specific marshaler (cycle table: true, reuse: true)
+void marshaler_Foo.send.1(Node s) {
+    Message m = new Message();
+    CycleTable tbl = new CycleTable();
+    if (tbl.seen(s)) { m.append_handle(s); } else {
+        m.append_int(s.v); // inlined
+        if (tbl.seen(s.next)) { m.append_handle(s.next); } else {
+            serialize_Node(m, s.next); // recursive structure, shared body
+        }
+    }
+    m.send();
+    delete m;
+    wait_for_return_value();
+}
+`
+	if got := w.nodeListPlan(true).Pseudocode(); got != want {
+		t.Errorf("reuse pseudocode drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

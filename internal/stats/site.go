@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SiteCounters accumulates runtime events for ONE call site, keyed by
+// the compiler's Plan.Site id. All fields are atomic: the hot path
+// only ever does a handful of uncontended atomic adds, so keeping
+// these always-on costs no allocations and stays inside the perf
+// budget. A SiteCounters value must not be copied after first use.
+type SiteCounters struct {
+	Calls              atomic.Int64 // invocations through this site (local + remote)
+	LocalCalls         atomic.Int64 // invocations served node-locally
+	WireBytes          atomic.Int64 // payload bytes this site put on the wire (calls + replies)
+	ReuseHits          atomic.Int64 // reuse-cache Take() that returned a donor graph
+	ReuseMisses        atomic.Int64 // reuse-cache Take() that found the cache empty
+	CycleTablesAvoided atomic.Int64 // messages sent without a cycle table thanks to §3.2
+	ClaimChecks        atomic.Int64 // sampled claim re-verifications at this site
+	ClaimViolations    atomic.Int64 // compile-time claims found violated at this site
+}
+
+// SiteStat is an immutable snapshot of one site's counters, in the
+// JSON shape served by the obs /callsites endpoint.
+type SiteStat struct {
+	Site               string `json:"site"`
+	Calls              int64  `json:"calls"`
+	LocalCalls         int64  `json:"local_calls"`
+	WireBytes          int64  `json:"wire_bytes"`
+	ReuseHits          int64  `json:"reuse_hits"`
+	ReuseMisses        int64  `json:"reuse_misses"`
+	CycleTablesAvoided int64  `json:"cycle_tables_avoided"`
+	ClaimChecks        int64  `json:"claim_checks"`
+	ClaimViolations    int64  `json:"claim_violations"`
+}
+
+// Snapshot copies the current values under the given site name.
+func (c *SiteCounters) Snapshot(site string) SiteStat {
+	return SiteStat{
+		Site:               site,
+		Calls:              c.Calls.Load(),
+		LocalCalls:         c.LocalCalls.Load(),
+		WireBytes:          c.WireBytes.Load(),
+		ReuseHits:          c.ReuseHits.Load(),
+		ReuseMisses:        c.ReuseMisses.Load(),
+		CycleTablesAvoided: c.CycleTablesAvoided.Load(),
+		ClaimChecks:        c.ClaimChecks.Load(),
+		ClaimViolations:    c.ClaimViolations.Load(),
+	}
+}
+
+// Add returns the field-wise sum of two snapshots, keeping the
+// receiver's site name. It aggregates one textual call site that is
+// registered on several clusters (e.g. one cluster per optimization
+// level in the demo binaries).
+func (s SiteStat) Add(o SiteStat) SiteStat {
+	s.Calls += o.Calls
+	s.LocalCalls += o.LocalCalls
+	s.WireBytes += o.WireBytes
+	s.ReuseHits += o.ReuseHits
+	s.ReuseMisses += o.ReuseMisses
+	s.CycleTablesAvoided += o.CycleTablesAvoided
+	s.ClaimChecks += o.ClaimChecks
+	s.ClaimViolations += o.ClaimViolations
+	return s
+}
+
+func (s SiteStat) String() string {
+	return fmt.Sprintf("%s: calls=%d (local=%d) wire=%dB reuse(hit=%d miss=%d) tablesAvoided=%d claims(checks=%d violations=%d)",
+		s.Site, s.Calls, s.LocalCalls, s.WireBytes, s.ReuseHits, s.ReuseMisses,
+		s.CycleTablesAvoided, s.ClaimChecks, s.ClaimViolations)
+}

@@ -24,7 +24,7 @@ type PaddedInt64 struct {
 // The counters bumped on every serialized field or message are padded
 // (PaddedInt64); rarely-touched fault counters stay unpadded.
 type Counters struct {
-	RemoteRPCs PaddedInt64 // RMIs on objects on another node
+	RemoteRPCs PaddedInt64  // RMIs on objects on another node
 	LocalRPCs  atomic.Int64 // RMIs that happened to be node-local
 
 	Messages  PaddedInt64 // network messages sent
@@ -52,6 +52,10 @@ type Counters struct {
 	DupSuppressed  atomic.Int64 // redelivered calls absorbed by the callee dedup cache
 	CorruptDropped atomic.Int64 // frames discarded on checksum mismatch
 	StaleReplies   atomic.Int64 // replies arriving after their call completed
+
+	// Claim-checker counters (audit mode, rmi.ClaimCheckPolicy).
+	ClaimChecks     atomic.Int64 // sampled calls whose compile-time claims were re-verified
+	ClaimViolations atomic.Int64 // claims found violated at runtime
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -65,6 +69,7 @@ type Snapshot struct {
 	AcksOnly                                      int64
 	Retries, Timeouts, DupSuppressed              int64
 	CorruptDropped, StaleReplies                  int64
+	ClaimChecks, ClaimViolations                  int64
 }
 
 // Snapshot copies the current counter values.
@@ -91,6 +96,8 @@ func (c *Counters) Snapshot() Snapshot {
 		DupSuppressed:   c.DupSuppressed.Load(),
 		CorruptDropped:  c.CorruptDropped.Load(),
 		StaleReplies:    c.StaleReplies.Load(),
+		ClaimChecks:     c.ClaimChecks.Load(),
+		ClaimViolations: c.ClaimViolations.Load(),
 	}
 }
 
@@ -117,6 +124,8 @@ func (c *Counters) Reset() {
 	c.DupSuppressed.Store(0)
 	c.CorruptDropped.Store(0)
 	c.StaleReplies.Store(0)
+	c.ClaimChecks.Store(0)
+	c.ClaimViolations.Store(0)
 }
 
 // Sub returns s - t field-wise (statistics accumulated between two
@@ -144,6 +153,8 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		DupSuppressed:   s.DupSuppressed - t.DupSuppressed,
 		CorruptDropped:  s.CorruptDropped - t.CorruptDropped,
 		StaleReplies:    s.StaleReplies - t.StaleReplies,
+		ClaimChecks:     s.ClaimChecks - t.ClaimChecks,
+		ClaimViolations: s.ClaimViolations - t.ClaimViolations,
 	}
 }
 
@@ -154,9 +165,10 @@ func (s Snapshot) NewMBytes() float64 { return float64(s.AllocBytes) / (1 << 20)
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"rpcs(local=%d remote=%d) msgs=%d wire=%dB type=%dB serCalls=%d inlined=%d cycleTables=%d cycleLookups=%d alloc(%d objs, %.2f MB) reused=%d "+
-			"faults(retries=%d timeouts=%d dupSuppressed=%d corruptDropped=%d staleReplies=%d)",
+			"faults(retries=%d timeouts=%d dupSuppressed=%d corruptDropped=%d staleReplies=%d) claims(checks=%d violations=%d)",
 		s.LocalRPCs, s.RemoteRPCs, s.Messages, s.WireBytes, s.TypeBytes,
 		s.SerializerCalls, s.InlinedWrites, s.CycleTables, s.CycleLookups,
 		s.AllocObjects, s.NewMBytes(), s.ReusedObjs,
-		s.Retries, s.Timeouts, s.DupSuppressed, s.CorruptDropped, s.StaleReplies)
+		s.Retries, s.Timeouts, s.DupSuppressed, s.CorruptDropped, s.StaleReplies,
+		s.ClaimChecks, s.ClaimViolations)
 }
