@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision
 
 verify:
 	go vet ./...
@@ -11,6 +11,7 @@ verify:
 	go test -race ./...
 	$(MAKE) obs-smoke
 	$(MAKE) explain-smoke
+	$(MAKE) verify-precision
 
 test:
 	go test ./...
@@ -28,6 +29,16 @@ obs-smoke:
 # reuse verdicts on every value).
 explain-smoke:
 	go run ./cmd/rmic -explain-smoke
+
+# Precision regression gate: run the full compiler over the MiniJP
+# corpus (examples/minijp) and diff the per-site verdict matrix — and
+# the context-insensitive baseline matrix — against the checked-in
+# goldens, then re-prove the sensitivity gain in-process (strictly more
+# elided cycle checks and reuse grants than the baseline). A precision
+# regression fails; an intended improvement needs a reviewed golden
+# update (UPDATE_GOLDEN=1 go test ./internal/harness -run TestVerdictMatrix).
+verify-precision:
+	go test -count=1 -run 'TestVerdictMatrix|TestPrecisionGain|TestContextBudgetBoundsBlowup' ./internal/harness
 
 # Regenerate the human-readable Go benchmarks and the machine-readable
 # perf baseline consumed by benchdiff (commit BENCH_rmibench.json when

@@ -8,6 +8,12 @@
 // measurement. The exit status is nonzero when any workload × level
 // row regresses: missing row, ns/op more than -ns-tol above baseline
 // (default 10%), or allocs/op above baseline plus -alloc-eps.
+//
+// When both reports carry a decisions section, the optimizer
+// verdict-count deltas (elided cycle checks, reuse grants) are printed
+// alongside the perf result. Those deltas are informational; precision
+// itself is gated by the verdict-matrix golden (`make
+// verify-precision`).
 package main
 
 import (
@@ -60,6 +66,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cur, ok := load(fs.Arg(1))
 	if !ok {
 		return 2
+	}
+
+	// Verdict-count deltas from the decisions sections are printed
+	// first and never fail the run: precision is gated by the verdict
+	// matrix golden, but a perf shift is easier to read next to the
+	// optimizer-decision shift that explains it.
+	if deltas := harness.CompareDecisions(base, cur); len(deltas) > 0 {
+		fmt.Fprintf(stdout, "benchdiff: optimizer decisions changed vs %s:\n", fs.Arg(0))
+		for _, d := range deltas {
+			fmt.Fprintf(stdout, "  %s\n", d)
+		}
 	}
 
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {

@@ -17,6 +17,10 @@
 //	  -explain-json  the same report, machine readable (cormi-explain/1)
 //	  -explain-smoke run the explain pipeline over every bundled example
 //	                 and validate the reports (the `make explain-smoke` gate)
+//	  -verdict-matrix DIR
+//	                 compile every *.jp under DIR and print the per-site
+//	                 verdict matrix plus the analysis-cost table (the human
+//	                 view of the `make verify-precision` golden)
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"cormi/internal/apps/superopt"
 	"cormi/internal/apps/webserver"
 	"cormi/internal/core"
+	"cormi/internal/harness"
 )
 
 // exampleSrc is Figure 5 plus the Figure 12 array benchmark, so rmic
@@ -69,6 +74,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print per-call-site optimizer decisions with denial witnesses")
 	explainJSON := flag.Bool("explain-json", false, "print the decision report as JSON (schema "+core.ExplainSchema+")")
 	explainSmoke := flag.Bool("explain-smoke", false, "self-validate the explain reports of every bundled example")
+	verdictMatrix := flag.String("verdict-matrix", "", "compile every *.jp under the directory and print the verdict matrix")
 	flag.Parse()
 
 	if *explainSmoke {
@@ -76,6 +82,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rmic: explain smoke: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *verdictMatrix != "" {
+		m, err := harness.BuildVerdictMatrix(*verdictMatrix, core.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmic: verdict matrix: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(m.Format())
+		fmt.Println()
+		fmt.Print(m.FormatCost())
 		return
 	}
 

@@ -91,6 +91,19 @@ type Options struct {
 	// are a message's only reference argument. See linear.go for the
 	// soundness argument.
 	LinearListRefinement bool
+
+	// HeapOpts overrides the heap-analysis precision (nil means
+	// heap.DefaultOptions: 1-call-site-sensitive with strong updates).
+	// The verdict-matrix baseline compiles with
+	// heap.InsensitiveOptions to quantify the precision gap.
+	HeapOpts *heap.Options
+}
+
+func (o Options) heapOpts() heap.Options {
+	if o.HeapOpts != nil {
+		return *o.HeapOpts
+	}
+	return heap.DefaultOptions()
 }
 
 // Result is a compiled program with analysis results.
@@ -136,7 +149,7 @@ func CompileOpts(src string, reg *model.Registry, opts Options) (*Result, error)
 	r := &Result{
 		Lang:     prog,
 		IR:       irProg,
-		Heap:     heap.Analyze(irProg),
+		Heap:     heap.AnalyzeOpts(irProg, opts.heapOpts()),
 		Registry: reg,
 		Opts:     opts,
 		classOf:  make(map[*lang.ClassDecl]*model.Class),

@@ -119,7 +119,12 @@ func (r *Result) graphEscapeWitness(es *escapeState, graph heap.NodeSet, extra [
 	}
 	// Stored through a reference with an empty points-to set (e.g. a
 	// receiver no analyzed code ever allocates): the target is
-	// unknowable, so assume the store escapes.
+	// unknowable, so assume the store escapes. The check runs per
+	// analysis context: under 1-call-site sensitivity a target may be
+	// known in one context and unknowable in another, and the merged
+	// view would hide the unanalyzable store (the context-separated
+	// analysis never materializes its field edge, so no other rule can
+	// catch it).
 	for _, f := range r.IR.Funcs {
 		var w *EscapeWitness
 		f.Instrs(func(in *ir.Instr) bool {
@@ -132,14 +137,16 @@ func (r *Result) graphEscapeWitness(es *escapeState, graph heap.NodeSet, extra [
 			default:
 				return true
 			}
-			if len(r.Heap.PointsTo(target)) > 0 {
-				return true
-			}
-			for _, id := range r.Heap.PointsTo(val).Sorted() {
-				if graph.Has(id) {
-					w = r.nodeWitness(RuleUnknownStore, id,
-						fmt.Sprintf("stored through an unanalyzable reference in %s", f.Name))
-					return false
+			for _, c := range r.Heap.Contexts(f) {
+				if len(r.Heap.PointsToIn(target, c)) > 0 {
+					continue
+				}
+				for _, id := range r.Heap.PointsToIn(val, c).Sorted() {
+					if graph.Has(id) {
+						w = r.nodeWitness(RuleUnknownStore, id,
+							fmt.Sprintf("stored through an unanalyzable reference in %s", f.Name))
+						return false
+					}
 				}
 			}
 			return true
@@ -221,13 +228,22 @@ func (r *Result) retReuseDenial(es *escapeState, site *ir.Instr, retNodes heap.N
 	}
 	graph := r.Heap.Reach(clones)
 
-	// If any function can return part of this graph, it outlives the
-	// caller's frame.
+	// If the CONTAINING function can return part of this graph, it
+	// outlives the caller's frame. Only the containing function's
+	// returns matter: the clones materialize in this frame, and every
+	// other way out of it is covered by a different rule — reachability
+	// from a static (global-reachable), a store into any object outside
+	// the graph, including objects handed to or received from direct
+	// callees (stored-outside / unknown-store), and surviving a loop
+	// iteration (phi-live). A direct callee returning a node it was
+	// passed merely flows it back into this same frame. The previous
+	// any-function-returns rule was sound but defeated context
+	// sensitivity: a pass-through helper's merged return summary always
+	// contained the clone.
+	caller := site.Block.Func
 	rets := heap.NodeSet{}
-	for _, f := range r.IR.Funcs {
-		for _, rv := range ir.ReturnValues(f) {
-			rets.AddAll(r.Heap.PointsTo(rv))
-		}
+	for _, rv := range ir.ReturnValues(caller) {
+		rets.AddAll(r.Heap.PointsTo(rv))
 	}
 	extra := []lifetimeRoot{{RuleReturned, rets}}
 

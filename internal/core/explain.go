@@ -91,11 +91,15 @@ const RulePrimitive = "primitive"
 
 // Explain builds the audit report for a compiled program. source is a
 // free-form label (file name, workload name) carried into the report.
+// Sites are emitted in sorted name order (not compilation order) so
+// the JSON form is byte-stable and diffable across runs and compiler
+// versions.
 func (r *Result) Explain(source string) *ExplainReport {
 	rep := &ExplainReport{Schema: ExplainSchema, Source: source}
 	for _, si := range r.Sites {
 		rep.Sites = append(rep.Sites, r.siteDecision(si))
 	}
+	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Site < rep.Sites[j].Site })
 	return rep
 }
 

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// explainGoldenSrc exercises every decision field: a kept cycle check
+// with a witness, elided checks, applied and denied reuse, primitive
+// and inlined plan shapes, a return value, and two call sites whose
+// compilation order differs from their sorted name order.
+const explainGoldenSrc = `
+class Leaf { int v; }
+class Pair { Leaf l; Leaf r; }
+remote class Sink {
+	static Pair cache;
+	int take(Pair p) { return p.l.v; }
+	Pair stash(Pair p) { Sink.cache = p; return p; }
+}
+class Main {
+	static int main() {
+		Sink s = new Sink();
+		Pair a = new Pair();
+		a.l = new Leaf();
+		a.r = a.l;
+		int x = s.take(a);
+		Pair b = new Pair();
+		b.l = new Leaf();
+		b.r = new Leaf();
+		Pair c = s.stash(b);
+		return x + c.l.v;
+	}
+}`
+
+// TestExplainJSONGolden pins the byte-exact cormi-explain/1 wire form:
+// the schema is consumed by rmic -explain-json readers and the
+// rmibench decisions section, so field renames, ordering changes or
+// accidental nondeterminism must show up as a reviewed golden diff.
+// The golden also round-trips back through the decoder.
+func TestExplainJSONGolden(t *testing.T) {
+	r := compile(t, explainGoldenSrc)
+	rep := r.Explain("explain_golden.jp")
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	path := filepath.Join("testdata", "explain_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(want) != string(raw) {
+		t.Errorf("explain JSON drifted from golden (UPDATE_GOLDEN=1 to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			raw, want)
+	}
+
+	var back ExplainReport
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden does not round-trip: %v", err)
+	}
+	if back.Schema != ExplainSchema {
+		t.Errorf("schema = %q, want %q", back.Schema, ExplainSchema)
+	}
+	if len(back.Sites) != len(rep.Sites) {
+		t.Errorf("round-trip lost sites: %d -> %d", len(rep.Sites), len(back.Sites))
+	}
+	reraw, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(append(reraw, '\n')) != string(want) {
+		t.Error("decode/encode round-trip is not the identity on the golden")
+	}
+}
+
+// TestExplainSitesSorted pins the satellite fix: sites are emitted in
+// sorted name order regardless of compilation order, and repeat runs
+// are byte-identical.
+func TestExplainSitesSorted(t *testing.T) {
+	r := compile(t, explainGoldenSrc)
+	rep := r.Explain("x")
+	if !sort.SliceIsSorted(rep.Sites, func(i, j int) bool { return rep.Sites[i].Site < rep.Sites[j].Site }) {
+		names := make([]string, len(rep.Sites))
+		for i, d := range rep.Sites {
+			names[i] = d.Site
+		}
+		t.Errorf("sites not sorted: %v", names)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(compile(t, explainGoldenSrc).Explain("x"))
+	if string(a) != string(b) {
+		t.Error("explain JSON differs between two identical compiles")
+	}
+}

@@ -8,7 +8,11 @@ package harness
 // path (DESIGN.md §8) is an invariant, not a statistic, so any real
 // growth fails even when ns/op still looks fine.
 
-import "fmt"
+import (
+	"fmt"
+
+	"cormi/internal/core"
+)
 
 // DiffOpts tunes the regression thresholds.
 type DiffOpts struct {
@@ -60,4 +64,93 @@ func CompareBench(base, cur *BenchReport, opts DiffOpts) []string {
 		}
 	}
 	return regressions
+}
+
+// DecisionCounts are the verdict totals of one optimizer decision
+// report: live call sites, elided cycle checks (argument and return
+// directions both count), and buffer-reuse grants (arguments and
+// returns both count). The same counting rule feeds the verdict
+// matrix's TOTAL line, so benchdiff deltas and `make verify-precision`
+// agree on what a "grant" is.
+type DecisionCounts struct {
+	Sites  int
+	Elided int
+	Grants int
+}
+
+// CountDecisions tallies one report.
+func CountDecisions(rep *core.ExplainReport) DecisionCounts {
+	var n DecisionCounts
+	for _, d := range rep.Sites {
+		if d.Dead {
+			continue
+		}
+		n.Sites++
+		if d.CycleCheck.Elided {
+			n.Elided++
+		}
+		if d.RetCycleCheck != nil && d.RetCycleCheck.Elided {
+			n.Elided++
+		}
+		for _, a := range d.Args {
+			if a.Reuse.Applied {
+				n.Grants++
+			}
+		}
+		if d.Ret != nil && d.Ret.Reuse.Applied {
+			n.Grants++
+		}
+	}
+	return n
+}
+
+// CompareDecisions diffs the optimizer decision sections of two
+// reports and renders one line per workload whose verdict counts
+// moved, plus a trailing total when anything did. The deltas are
+// informational, not a gate: the authoritative precision gate is the
+// verdict-matrix golden diff (`make verify-precision`); here the same
+// counts ride alongside the perf numbers so a ns/op shift and the
+// analysis-precision shift that caused it appear in one place. Either
+// section may be absent (old baselines): then there is nothing to
+// compare and the result is empty.
+func CompareDecisions(base, cur *BenchReport) []string {
+	if len(base.Decisions) == 0 || len(cur.Decisions) == 0 {
+		return nil
+	}
+	curBySource := map[string]*core.ExplainReport{}
+	for _, rep := range cur.Decisions {
+		curBySource[rep.Source] = rep
+	}
+	var lines []string
+	var db, dc DecisionCounts
+	for _, rep := range base.Decisions {
+		b := CountDecisions(rep)
+		c, ok := curBySource[rep.Source]
+		if !ok {
+			lines = append(lines, fmt.Sprintf(
+				"%s: decisions missing from new report", rep.Source))
+			continue
+		}
+		n := CountDecisions(c)
+		db.Sites += b.Sites
+		db.Elided += b.Elided
+		db.Grants += b.Grants
+		dc.Sites += n.Sites
+		dc.Elided += n.Elided
+		dc.Grants += n.Grants
+		if n != b {
+			lines = append(lines, fmt.Sprintf(
+				"%s: sites %d -> %d, elided cycle checks %d -> %d (%+d), reuse grants %d -> %d (%+d)",
+				rep.Source, b.Sites, n.Sites,
+				b.Elided, n.Elided, n.Elided-b.Elided,
+				b.Grants, n.Grants, n.Grants-b.Grants))
+		}
+	}
+	if len(lines) > 0 {
+		lines = append(lines, fmt.Sprintf(
+			"total: elided cycle checks %d -> %d (%+d), reuse grants %d -> %d (%+d)",
+			db.Elided, dc.Elided, dc.Elided-db.Elided,
+			db.Grants, dc.Grants, dc.Grants-db.Grants))
+	}
+	return lines
 }

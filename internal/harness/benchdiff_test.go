@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"cormi/internal/core"
 )
 
 func report(rows ...BenchRow) *BenchReport {
@@ -49,6 +51,55 @@ func TestCompareBenchMissingRow(t *testing.T) {
 	regs := CompareBench(base, cur, DefaultDiffOpts())
 	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("expected one missing-row regression, got %v", regs)
+	}
+}
+
+// decisionsReport builds a one-site explain report with the given
+// verdicts for CompareDecisions tests.
+func decisionsReport(source string, elided, reuse bool) *core.ExplainReport {
+	site := core.SiteDecision{
+		Site:       source + ".site1",
+		CycleCheck: core.CycleDecision{Elided: elided},
+		Args:       []core.ValueDecision{{Kind: "object"}},
+	}
+	site.Args[0].Reuse.Applied = reuse
+	return &core.ExplainReport{Schema: core.ExplainSchema, Source: source,
+		Sites: []core.SiteDecision{site}}
+}
+
+func TestCompareDecisionsReportsDeltas(t *testing.T) {
+	base := report(row("t", "site", 1000, 3))
+	base.Decisions = []*core.ExplainReport{
+		decisionsReport("steady", true, true),
+		decisionsReport("moved", false, false),
+	}
+	cur := report(row("t", "site", 1000, 3))
+	cur.Decisions = []*core.ExplainReport{
+		decisionsReport("steady", true, true),
+		decisionsReport("moved", true, true), // sharpened: +1 elided, +1 grant
+	}
+	deltas := CompareDecisions(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("want a per-workload line and a total, got %v", deltas)
+	}
+	if !strings.Contains(deltas[0], "moved") || !strings.Contains(deltas[0], "(+1)") {
+		t.Errorf("per-workload delta line %q lacks the moved workload or its +1", deltas[0])
+	}
+	if !strings.Contains(deltas[1], "total") || !strings.Contains(deltas[1], "1 -> 2 (+1)") {
+		t.Errorf("total line %q lacks the corpus-wide 1 -> 2 shift", deltas[1])
+	}
+}
+
+func TestCompareDecisionsQuietWhenUnchangedOrAbsent(t *testing.T) {
+	base := report(row("t", "site", 1000, 3))
+	cur := report(row("t", "site", 1000, 3))
+	if d := CompareDecisions(base, cur); len(d) != 0 {
+		t.Fatalf("no decisions sections, want no deltas, got %v", d)
+	}
+	base.Decisions = []*core.ExplainReport{decisionsReport("w", true, false)}
+	cur.Decisions = []*core.ExplainReport{decisionsReport("w", true, false)}
+	if d := CompareDecisions(base, cur); len(d) != 0 {
+		t.Fatalf("identical decisions, want no deltas, got %v", d)
 	}
 }
 

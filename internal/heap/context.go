@@ -1,0 +1,158 @@
+package heap
+
+import (
+	"cormi/internal/ir"
+)
+
+// buildContexts is the static context prepass of the 1-call-site-
+// sensitive analysis. It decides, once and deterministically, which
+// analysis context every call instruction binds its callee in:
+//
+//   - each direct call of a function with a body gets a dedicated
+//     context (a fresh clone of the callee's points-to summary), so
+//     the callee's facts are not merged across unrelated callers;
+//   - calls to recursive functions (any function on a direct-call
+//     cycle) bind the merged context MergedCtx — context cloning
+//     cannot separate the unboundedly many activations anyway;
+//   - calls to functions with more direct call sites than
+//     Options.ContextBudget bind MergedCtx too, bounding the number of
+//     contexts (and hence analysis cost) linearly in the budget;
+//   - remote calls always bind MergedCtx: the RMI boundary already
+//     separates call sites through per-site clone contexts (ArgCtx /
+//     RetCtx), so a second separation would only duplicate nodes.
+//
+// Contexts are numbered in program order (function, block,
+// instruction), which makes node IDs and therefore every downstream
+// witness byte-stable across runs.
+//
+// A function's merged context is only analyzed when something can
+// actually bind into it: the function has no in-program callers (an
+// entry point such as main), it is invoked remotely, or some direct
+// call falls back to MergedCtx. Skipping dead merged contexts is not
+// just a cost saving — it prevents phantom parameter-less summaries
+// from leaking spurious nodes into the merged PointsTo view.
+func (a *Analysis) buildContexts() {
+	prog := a.Prog
+	a.ctxsOf = map[*ir.Func][]Ctx{}
+	a.ctxOfCall = map[*ir.Instr]Ctx{}
+	a.recursive = map[*ir.Func]bool{}
+	a.hasCaller = map[*ir.Func]bool{}
+	a.ctxSite = []*ir.Instr{nil} // MergedCtx has no call site
+
+	directSites := map[*ir.Func]int{}
+	remoteTarget := map[*ir.Func]bool{}
+	edges := map[*ir.Func][]*ir.Func{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall && in.Op != ir.OpRemoteCall {
+					continue
+				}
+				callee, ok := prog.FuncOf[in.Callee]
+				if !ok {
+					continue // bodiless method: no summary to specialize
+				}
+				a.hasCaller[callee] = true
+				if in.Op == ir.OpRemoteCall {
+					remoteTarget[callee] = true
+					continue
+				}
+				directSites[callee]++
+				edges[f] = append(edges[f], callee)
+			}
+		}
+	}
+	a.markRecursive(edges)
+
+	budget := a.Opts.budget()
+	mergedBound := map[*ir.Func]bool{}
+	dedicated := map[*ir.Func][]Ctx{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				callee, ok := prog.FuncOf[in.Callee]
+				if !ok {
+					continue
+				}
+				if !a.Opts.ContextSensitive || a.recursive[callee] || directSites[callee] > budget {
+					a.ctxOfCall[in] = MergedCtx
+					mergedBound[callee] = true
+					continue
+				}
+				c := Ctx(len(a.ctxSite))
+				a.ctxSite = append(a.ctxSite, in)
+				a.ctxOfCall[in] = c
+				dedicated[callee] = append(dedicated[callee], c)
+			}
+		}
+	}
+
+	for _, f := range prog.Funcs {
+		var ctxs []Ctx
+		if !a.hasCaller[f] || remoteTarget[f] || mergedBound[f] {
+			ctxs = append(ctxs, MergedCtx)
+		}
+		ctxs = append(ctxs, dedicated[f]...)
+		a.ctxsOf[f] = ctxs
+	}
+}
+
+// markRecursive flags every function on a direct-call cycle (Tarjan
+// SCCs of size > 1, plus direct self-calls).
+func (a *Analysis) markRecursive(edges map[*ir.Func][]*ir.Func) {
+	index := map[*ir.Func]int{}
+	low := map[*ir.Func]int{}
+	onStack := map[*ir.Func]bool{}
+	var stack []*ir.Func
+	next := 0
+	var strong func(f *ir.Func)
+	strong = func(f *ir.Func) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, g := range edges[f] {
+			if _, seen := index[g]; !seen {
+				strong(g)
+				if low[g] < low[f] {
+					low[f] = low[g]
+				}
+			} else if onStack[g] && index[g] < low[f] {
+				low[f] = index[g]
+			}
+		}
+		if low[f] == index[f] {
+			var scc []*ir.Func
+			for {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[g] = false
+				scc = append(scc, g)
+				if g == f {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, g := range scc {
+					a.recursive[g] = true
+				}
+			}
+		}
+	}
+	for _, f := range a.Prog.Funcs {
+		if _, seen := index[f]; !seen {
+			strong(f)
+		}
+	}
+	for f, gs := range edges {
+		for _, g := range gs {
+			if g == f {
+				a.recursive[f] = true
+			}
+		}
+	}
+}

@@ -11,6 +11,30 @@
 // the paper's termination fix for the data-flow loop of Figure 3/4:
 // once a physical number has been propagated into a remote function, no
 // further clone is created, so the node sets stop growing.
+//
+// Two precision refinements sit on top of the base analysis (both on by
+// default, both switchable through Options — the verdict-matrix
+// baseline compiles with them off):
+//
+//  1. 1-call-site sensitivity: every direct call site of a function
+//     with a body gets its own clone of the callee's points-to summary
+//     (its own Ctx), so one pessimistic caller no longer poisons the
+//     verdicts of every other caller of a shared helper. Recursive
+//     functions (any call-graph SCC) and callees whose dedicated
+//     context count would exceed Options.ContextBudget fall back to
+//     the merged summary context 0 — the bounded-context rule that
+//     keeps the analysis linear in the number of call sites.
+//
+//  2. Flow-sensitive strong updates: a store through an SSA value
+//     whose points-to set is a singleton non-summary allocation node
+//     is *killed* when a later store in the same basic block
+//     overwrites the same field of the same base value with no
+//     potentially-observing instruction (load or call) in between.
+//     The analysis runs twice: the first pass computes the kill set
+//     from its final (over-approximate) points-to sets, the second
+//     re-runs the fixpoint with killed stores skipped. Because the
+//     second pass only removes constraints, its sets shrink, so every
+//     kill stays justified.
 package heap
 
 import (
@@ -26,11 +50,55 @@ import (
 // allocation number.
 type NodeID int
 
+// Ctx identifies one analysis context of a function. Context 0 is the
+// merged (context-insensitive) summary every function has; contexts
+// > 0 are per-direct-call-site clones of one callee's summary.
+type Ctx int
+
+// MergedCtx is the shared fallback context: entry functions, remote
+// invocations, recursive callees and budget overflow all bind here.
+const MergedCtx Ctx = 0
+
+// DefaultContextBudget bounds the dedicated contexts per callee: a
+// function with more direct call sites than this sees the overflow
+// sites through its merged summary instead.
+const DefaultContextBudget = 16
+
+// Options selects the analysis precision/cost trade-offs.
+type Options struct {
+	// ContextSensitive enables 1-call-site-sensitive interprocedural
+	// analysis (per-call-site callee summaries).
+	ContextSensitive bool
+	// StrongUpdates enables the flow-sensitive same-block store-kill
+	// refinement.
+	StrongUpdates bool
+	// ContextBudget caps dedicated contexts per callee (0 means
+	// DefaultContextBudget).
+	ContextBudget int
+}
+
+// DefaultOptions is the production configuration: both refinements on.
+func DefaultOptions() Options {
+	return Options{ContextSensitive: true, StrongUpdates: true, ContextBudget: DefaultContextBudget}
+}
+
+// InsensitiveOptions is the context-insensitive, weak-update baseline
+// the precision gate compares against.
+func InsensitiveOptions() Options { return Options{} }
+
+func (o Options) budget() int {
+	if o.ContextBudget <= 0 {
+		return DefaultContextBudget
+	}
+	return o.ContextBudget
+}
+
 // ElemKey is the pseudo-field naming array element edges (the "[]"
 // edges of Figure 2).
 const ElemKey = "[]"
 
-// Node is one heap-graph node: an allocation site or a clone of one.
+// Node is one heap-graph node: an allocation site (in one analysis
+// context) or a clone of one.
 type Node struct {
 	ID       NodeID
 	Logical  int
@@ -39,6 +107,14 @@ type Node struct {
 	// Site is the allocation instruction this node (or its clone
 	// origin) came from.
 	Site *ir.Instr
+	// Ctx is the analysis context the node was allocated in (MergedCtx
+	// for context-insensitive nodes and clones).
+	Ctx Ctx
+	// Summary marks nodes that may stand for objects from several
+	// merged call paths: merged-context nodes of functions that have
+	// direct callers, and all remote-boundary clones (memoized per
+	// physical number). Strong updates never fire on summary nodes.
+	Summary bool
 	// CloneOf is the node this one was cloned from (-1 for originals)
 	// and CloneCtx the remote-boundary context that caused the clone.
 	CloneOf  NodeID
@@ -52,6 +128,8 @@ func (n *Node) String() string {
 	c := ""
 	if n.IsClone() {
 		c = fmt.Sprintf(" clone-of=%d ctx=%s", n.CloneOf, n.CloneCtx)
+	} else if n.Ctx != MergedCtx {
+		c = fmt.Sprintf(" callctx=%d", n.Ctx)
 	}
 	return fmt.Sprintf("node%d(log=%d, phys=%d, %s%s)", n.ID, n.Logical, n.Physical, n.Type, c)
 }
@@ -113,18 +191,53 @@ type clonePair struct {
 	orig NodeID
 }
 
+// valCtx keys a value's points-to set in one analysis context.
+type valCtx struct {
+	v *ir.Value
+	c Ctx
+}
+
+// allocKey keys an allocation instruction's node in one context.
+type allocKey struct {
+	in *ir.Instr
+	c  Ctx
+}
+
+// instrCtx names one instruction under one analysis context (the key
+// of the strong-update kill set).
+type instrCtx struct {
+	in *ir.Instr
+	c  Ctx
+}
+
 // Analysis is the computed heap graph.
 type Analysis struct {
-	Prog  *ir.Program
+	Prog *ir.Program
+	Opts Options
+
 	Nodes []*Node
 
-	pts       map[*ir.Value]NodeSet
-	fields    []map[string]NodeSet // by NodeID
+	pts       map[valCtx]NodeSet
+	ptsAll    map[*ir.Value]NodeSet // union over contexts, kept in sync
+	fields    []map[string]NodeSet  // by NodeID
 	globals   map[*lang.FieldDecl]NodeSet
-	allocNode map[*ir.Instr]NodeID
+	allocNode map[allocKey]NodeID
 
 	cloneMemo  map[cloneKey]NodeID
 	clonePairs map[clonePair]NodeID
+
+	// Context machinery (filled by the static prepass).
+	ctxsOf    map[*ir.Func][]Ctx // live contexts, MergedCtx (if live) first
+	ctxOfCall map[*ir.Instr]Ctx  // direct call instr -> callee context
+	ctxSite   []*ir.Instr        // by Ctx (nil for MergedCtx)
+	recursive map[*ir.Func]bool
+	hasCaller map[*ir.Func]bool
+
+	// killed stores (strong updates), decided by the first pass.
+	killed map[instrCtx]bool
+	// StrongKills counts the stores the final pass skipped because a
+	// later same-block store strongly updates the same field.
+	StrongKills int
 
 	changed bool
 	// Iterations records how many fixpoint passes were needed (a
@@ -132,12 +245,67 @@ type Analysis struct {
 	Iterations int
 }
 
-// PointsTo returns the node set an SSA value may refer to (nil-safe).
+// Stats summarizes the analysis cost for the verdict matrix.
+type Stats struct {
+	Nodes       int // heap nodes (originals, context clones, RMI clones)
+	Contexts    int // total analysis contexts (incl. the merged one)
+	PeakPointsTo int // largest per-context value points-to set
+	StrongKills int // stores removed by strong updates
+	Iterations  int // fixpoint passes of the final run
+}
+
+// AnalysisStats reports the cost metrics of the finished analysis.
+func (a *Analysis) AnalysisStats() Stats {
+	st := Stats{
+		Nodes:       len(a.Nodes),
+		Contexts:    len(a.ctxSite),
+		StrongKills: a.StrongKills,
+		Iterations:  a.Iterations,
+	}
+	for _, s := range a.pts {
+		if len(s) > st.PeakPointsTo {
+			st.PeakPointsTo = len(s)
+		}
+	}
+	return st
+}
+
+// Contexts returns the analysis contexts of a function, MergedCtx
+// first, in deterministic order.
+func (a *Analysis) Contexts(f *ir.Func) []Ctx { return a.ctxsOf[f] }
+
+// CtxCallSite returns the direct call instruction a dedicated context
+// stands for (nil for MergedCtx).
+func (a *Analysis) CtxCallSite(c Ctx) *ir.Instr {
+	if int(c) >= len(a.ctxSite) {
+		return nil
+	}
+	return a.ctxSite[c]
+}
+
+// PointsTo returns the node set an SSA value may refer to across all
+// of its function's contexts (nil-safe) — the sound merged view.
 func (a *Analysis) PointsTo(v *ir.Value) NodeSet {
 	if v == nil {
 		return nil
 	}
-	return a.pts[v]
+	return a.ptsAll[v]
+}
+
+// PointsToIn returns the points-to set of v in one specific context
+// (nil-safe; nil when the context never bound v).
+func (a *Analysis) PointsToIn(v *ir.Value, c Ctx) NodeSet {
+	if v == nil {
+		return nil
+	}
+	return a.pts[valCtx{v, c}]
+}
+
+// NodeOfAlloc returns the heap node of an allocation instruction in
+// the given context, if the context ever executed it.
+func (a *Analysis) NodeOfAlloc(in *ir.Instr, c Ctx) (NodeID, bool) {
+	id, ok := a.allocNode[allocKey{in, c}]
+	return id, ok
 }
 
 // Field returns the points-to set of node.field.

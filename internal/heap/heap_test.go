@@ -62,7 +62,9 @@ func TestFigure2HeapGraph(t *testing.T) {
 	var fooNode NodeID = -1
 	for _, in := range p.AllocSites {
 		if in != nil && in.Op == ir.OpNew && in.Class.Name == "Foo" {
-			fooNode = a.allocNode[in]
+			if id, ok := a.NodeOfAlloc(in, MergedCtx); ok {
+				fooNode = id
+			}
 		}
 	}
 	if fooNode < 0 {

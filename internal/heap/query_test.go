@@ -244,7 +244,9 @@ func TestCycleWitnessPropertyRandomGraphs(t *testing.T) {
 		var nIDs []NodeID
 		for _, in := range p.AllocSites {
 			if in != nil && in.Op == ir.OpNew && in.Class != nil && in.Class.Name == "N" {
-				nIDs = append(nIDs, a.allocNode[in])
+				if id, ok := a.NodeOfAlloc(in, MergedCtx); ok {
+					nIDs = append(nIDs, id)
+				}
 			}
 		}
 		sort.Slice(nIDs, func(i, j int) bool {

@@ -260,9 +260,15 @@ func (m *Machine) step(node *rmi.Node, fn *ir.Func, in *ir.Instr, frame map[*ir.
 			}
 			argVals = append(argVals, av.v)
 		}
+		if m.OnRemoteArgs != nil {
+			m.OnRemoteArgs(in.SiteID, argVals)
+		}
 		rets, err := cs.Invoke(node, recv.r.ref, argVals)
 		if err != nil {
 			return value{}, err
+		}
+		if m.OnRemoteRet != nil && len(rets) > 0 {
+			m.OnRemoteRet(in.SiteID, rets[0])
 		}
 		if in.Dst == nil || len(rets) == 0 {
 			return value{}, nil

@@ -58,6 +58,17 @@ type Machine struct {
 
 	placeMu  sync.Mutex
 	nextTurn int
+
+	// OnRemoteArgs and OnRemoteRet, when non-nil, observe every remote
+	// invocation the interpreter performs: the serialized argument
+	// values just before the call-site stub runs, and the returned
+	// value just after. The soundness fuzzer uses them to check the
+	// compiler's static verdicts (e.g. proved-acyclic argument graphs)
+	// against the concrete object graphs that actually cross the wire.
+	// Hooks run on the caller's goroutine; they must not mutate the
+	// values.
+	OnRemoteArgs func(siteID int, args []model.Value)
+	OnRemoteRet  func(siteID int, ret model.Value)
 }
 
 // New prepares a machine: it registers every live remote call site of
