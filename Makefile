@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision fuzz
 
 verify:
 	go vet ./...
@@ -12,6 +12,7 @@ verify:
 	$(MAKE) obs-smoke
 	$(MAKE) explain-smoke
 	$(MAKE) verify-precision
+	$(MAKE) fuzz
 
 test:
 	go test ./...
@@ -39,6 +40,17 @@ explain-smoke:
 # update (UPDATE_GOLDEN=1 go test ./internal/harness -run TestVerdictMatrix).
 verify-precision:
 	go test -count=1 -run 'TestVerdictMatrix|TestPrecisionGain|TestContextBudgetBoundsBlowup' ./internal/harness
+
+# Short native-fuzzing pass over the two adversarial decode surfaces:
+# the HELLO handshake decoder and the value/reference payload decoder.
+# Each target always replays its checked-in seed corpus
+# (testdata/fuzz/) and then mutates for a few seconds. Properties:
+# no panics, typed ErrMalformedFrame on every rejection, balanced
+# read-context pool. Longer runs: FUZZTIME=10m make fuzz.
+FUZZTIME ?= 5s
+fuzz:
+	go test -run '^$$' -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/wire
+	go test -run '^$$' -fuzz FuzzReadValues -fuzztime $(FUZZTIME) ./internal/serial
 
 # Regenerate the human-readable Go benchmarks and the machine-readable
 # perf baseline consumed by benchdiff (commit BENCH_rmibench.json when

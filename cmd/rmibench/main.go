@@ -9,6 +9,10 @@
 //	rmibench -faults       # chaos mode: run the workloads over a lossy
 //	                       # network and verify exactly-once completion
 //	rmibench -faults -drop 0.1 -dup 0.05 -seed 7   # custom fault mix
+//	rmibench -skew         # mixed-version mode: one node advertises
+//	                       # skewed plan fingerprints; verify HELLO
+//	                       # negotiation demotes to the class-level
+//	                       # encoding with fully correct results
 //	rmibench -json > BENCH_rmibench.json           # machine-readable
 //	                       # perf report (ns/op, B/op, allocs/op per
 //	                       # workload × optimization level) consumed by
@@ -42,6 +46,7 @@ func main() {
 	reorder := flag.Float64("reorder", -1, "chaos: packet reordering probability")
 	corrupt := flag.Float64("corrupt", -1, "chaos: payload corruption probability")
 	seed := flag.Int64("seed", 42, "chaos: fault injection seed")
+	skew := flag.Bool("skew", false, "mixed-version mode: run the workloads with one node's plan fingerprints skewed and verify negotiated fallback")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable perf report (for benchdiff) and exit")
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file and print per-phase latency quantiles")
 	flag.Parse()
@@ -65,6 +70,28 @@ func main() {
 			// file still wants the raw spans of a traced pass.
 			writeTraceFile(*traceOut)
 		}
+		return
+	}
+
+	if *skew {
+		scale := harness.TestScale()
+		if *scaleName == "paper" {
+			scale = harness.PaperScale()
+		}
+		report, err := harness.VersionSkew(scale, 1)
+		if report != nil {
+			fmt.Println(report.Format())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: version-skew run failed: %v\n", err)
+			os.Exit(1)
+		}
+		neg, err := harness.NegotiationProbe()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(harness.FormatNegotiation(neg))
 		return
 	}
 

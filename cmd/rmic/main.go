@@ -13,6 +13,7 @@
 //	  -dump-ssa      SSA dump of every function
 //	  -dump-class    class-specific (baseline) serializers per class
 //	  -sites         one-line analysis summary per call site
+//	  -fingerprints  per-class plan fingerprints (the HELLO advertisement)
 //	  -explain       per-call-site optimizer decision report (human text)
 //	  -explain-json  the same report, machine readable (cormi-explain/1)
 //	  -explain-smoke run the explain pipeline over every bundled example
@@ -36,6 +37,7 @@ import (
 	"cormi/internal/apps/webserver"
 	"cormi/internal/core"
 	"cormi/internal/harness"
+	"cormi/internal/serial"
 )
 
 // exampleSrc is Figure 5 plus the Figure 12 array benchmark, so rmic
@@ -74,6 +76,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print per-call-site optimizer decisions with denial witnesses")
 	explainJSON := flag.Bool("explain-json", false, "print the decision report as JSON (schema "+core.ExplainSchema+")")
 	explainSmoke := flag.Bool("explain-smoke", false, "self-validate the explain reports of every bundled example")
+	fingerprints := flag.Bool("fingerprints", false, "print the per-class plan fingerprints the compiled program would advertise in its HELLO")
 	verdictMatrix := flag.String("verdict-matrix", "", "compile every *.jp under the directory and print the verdict matrix")
 	flag.Parse()
 
@@ -158,6 +161,18 @@ func main() {
 		for _, n := range names {
 			mc, _ := res.Registry.ByName(n)
 			fmt.Println(core.ClassSpecificPseudocode(mc))
+		}
+	}
+	if *fingerprints {
+		any = true
+		fps := serial.RegistryFingerprints(res.Registry)
+		names := make([]string, 0, len(fps))
+		for n := range fps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-24s %016x\n", n, fps[n])
 		}
 	}
 	if *explain || *explainJSON {

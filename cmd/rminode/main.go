@@ -108,13 +108,38 @@ func main() {
 		}
 		return out
 	}
+	// /links aggregates across the per-level clusters like /callsites:
+	// every cluster negotiates the same (from, to) links, so rows
+	// sharing a direction merge — fallbacks sum, the negotiated version
+	// and demotion set (identical across clusters by construction) come
+	// from the latest row. Merging keeps the labeled /metrics series
+	// unique per direction.
+	linkStats := func() []stats.LinkStat {
+		csMu.Lock()
+		defer csMu.Unlock()
+		idx := map[[2]int]int{}
+		var out []stats.LinkStat
+		for _, c := range clusters {
+			for _, l := range c.LinkStats() {
+				key := [2]int{l.From, l.To}
+				if i, ok := idx[key]; ok {
+					l.Fallbacks += out[i].Fallbacks
+					out[i] = l
+				} else {
+					idx[key] = len(out)
+					out = append(out, l)
+				}
+			}
+		}
+		return out
+	}
 	if *obsSmoke && *obsAddr == "" {
 		*obsAddr = "127.0.0.1:0"
 	}
 	if *obsAddr != "" {
 		tracer = trace.New(trace.Config{RingSize: 4096})
 		var err error
-		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer, SiteStats: siteStats})
+		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer, SiteStats: siteStats, Links: linkStats})
 		if err != nil {
 			fail(err)
 		}
@@ -199,7 +224,7 @@ func main() {
 		if err := smokeObs("http://"+server.Addr(), int64(*sends)); err != nil {
 			fail(fmt.Errorf("obs smoke: %w", err))
 		}
-		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /buildinfo and /trace all served valid payloads")
+		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /links, /buildinfo and /trace all served valid payloads")
 	}
 }
 
@@ -239,9 +264,11 @@ func smokeObs(base string, sends int64) error {
 	for _, series := range []string{
 		"cormi_trace_spans_started_total",
 		"cormi_wire_buf_outstanding",
+		"cormi_serial_readctx_outstanding",
 		"cormi_phase_latency_ns_bucket",
 		`cormi_site_calls{site="Main.main.1"}`,
 		`cormi_site_wire_bytes{site="Main.main.1"}`,
+		`cormi_link_negotiated_version{from="0",to="1"}`,
 	} {
 		if !strings.Contains(body, series) {
 			return fmt.Errorf("/metrics missing series %s", series)
@@ -274,6 +301,23 @@ func smokeObs(base string, sends int64) error {
 	}
 	if main.WireBytes <= 0 {
 		return fmt.Errorf("/callsites Main.main.1 wire_bytes = %d, want > 0", main.WireBytes)
+	}
+
+	body, err = get("/links")
+	if err != nil {
+		return err
+	}
+	var links []stats.LinkStat
+	if err := json.Unmarshal([]byte(body), &links); err != nil {
+		return fmt.Errorf("/links is not valid JSON: %w", err)
+	}
+	if len(links) == 0 {
+		return fmt.Errorf("/links empty after the run")
+	}
+	for _, l := range links {
+		if l.Version < 1 {
+			return fmt.Errorf("/links %d->%d negotiated version %d", l.From, l.To, l.Version)
+		}
 	}
 
 	body, err = get("/buildinfo")

@@ -53,6 +53,11 @@ type BenchReport struct {
 	// reader seeing future sections — must ignore unknown keys, which
 	// encoding/json does by default; benchdiff has a test pinning that.
 	Decisions []*core.ExplainReport `json:"decisions,omitempty"`
+	// Negotiation carries the version-negotiation probe's evidence
+	// (plan fallbacks, malformed-frame rejections, per-link state).
+	// Like Decisions it is a new optional section: benchdiff compares
+	// rows only, so baselines from before the section stay comparable.
+	Negotiation *NegotiationReport `json:"negotiation,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -218,6 +223,11 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		}
 		report.Phases = tr.Phases
 	}
+	neg, err := NegotiationProbe()
+	if err != nil {
+		return nil, err
+	}
+	report.Negotiation = neg
 	return report, nil
 }
 

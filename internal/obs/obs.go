@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"cormi/internal/metrics"
+	"cormi/internal/serial"
 	"cormi/internal/stats"
 	"cormi/internal/trace"
 	"cormi/internal/wire"
@@ -47,6 +48,11 @@ type Options struct {
 	// the labeled cormi_site_* series on /metrics (typically
 	// Cluster.SiteStats, or an aggregation across clusters).
 	SiteStats func() []stats.SiteStat
+	// Links supplies the per-link negotiation state for /links and the
+	// labeled cormi_link_* series on /metrics (typically
+	// Cluster.LinkStats, or an aggregation across clusters). Only links
+	// that have completed their HELLO exchange appear.
+	Links func() []stats.LinkStat
 }
 
 // Server is a running introspection endpoint.
@@ -72,13 +78,18 @@ func NewServer(opts Options) *Server {
 
 	if opts.Counters != nil {
 		registerCounterGauges(reg, opts.Counters)
+		registerRobustnessGauges(reg, opts.Counters)
 	}
 	registerPoolGauges(reg)
+	registerCtxGauges(reg)
 	if opts.Tracer != nil {
 		registerTracerGauges(reg, opts.Tracer)
 	}
 	if opts.SiteStats != nil {
 		registerSiteVecs(reg, opts.SiteStats)
+	}
+	if opts.Links != nil {
+		registerLinkVecs(reg, opts.Links)
 	}
 
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -124,6 +135,20 @@ func NewServer(opts Options) *Server {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(ss)
+	})
+	s.mux.HandleFunc("/links", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Links == nil {
+			http.Error(w, "no link stats source attached", http.StatusNotFound)
+			return
+		}
+		ls := opts.Links()
+		if ls == nil {
+			ls = []stats.LinkStat{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ls)
 	})
 	s.mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -202,6 +227,55 @@ func registerPoolGauges(reg *metrics.Registry) {
 		func() float64 { return float64(wire.Stats().Puts) })
 	reg.RegisterGauge("cormi_wire_buf_outstanding", "frame-pool buffers currently owned by callers (gets - puts)",
 		func() float64 { return float64(wire.Stats().Outstanding) })
+}
+
+// registerRobustnessGauges exposes the wire-robustness counters under
+// the stable names the hardening design documents — aliases of the
+// reflective cormi_counter_* series, kept explicit so dashboards and
+// the version-skew runbook do not depend on field spelling.
+func registerRobustnessGauges(reg *metrics.Registry, c *stats.Counters) {
+	reg.RegisterGauge("cormi_wire_malformed_total", "CRC-valid frames rejected as malformed (hostile or version-skewed)",
+		func() float64 { return float64(c.MalformedFrames.Load()) })
+	reg.RegisterGauge("cormi_plan_fallback_total", "objects demoted from planned to class-level encoding by link negotiation",
+		func() float64 { return float64(c.PlanFallbacks.Load()) })
+}
+
+// registerCtxGauges exposes the serializer's read-context pool balance
+// — the leak witness proving every decode, including every rejected
+// malformed frame, released its pooled context.
+func registerCtxGauges(reg *metrics.Registry) {
+	reg.RegisterGauge("cormi_serial_readctx_gets_total", "lifetime pooled read-context acquisitions",
+		func() float64 { return float64(serial.ReadCtxStats().Gets) })
+	reg.RegisterGauge("cormi_serial_readctx_puts_total", "lifetime pooled read-context releases",
+		func() float64 { return float64(serial.ReadCtxStats().Puts) })
+	reg.RegisterGauge("cormi_serial_readctx_outstanding", "pooled read contexts currently in use (gets - puts)",
+		func() float64 { return float64(serial.ReadCtxStats().Outstanding) })
+}
+
+// registerLinkVecs exposes per-link negotiation state as labeled
+// series: the negotiated protocol version, the demoted-class count and
+// the running fallback total for every link that has completed its
+// HELLO exchange.
+func registerLinkVecs(reg *metrics.Registry, links func() []stats.LinkStat) {
+	collect := func(value func(stats.LinkStat) float64) func() []metrics.LabeledValue {
+		return func() []metrics.LabeledValue {
+			ls := links()
+			out := make([]metrics.LabeledValue, 0, len(ls))
+			for _, l := range ls {
+				out = append(out, metrics.LabeledValue{
+					Labels: fmt.Sprintf("from=%q,to=%q", fmt.Sprint(l.From), fmt.Sprint(l.To)),
+					Value:  value(l),
+				})
+			}
+			return out
+		}
+	}
+	reg.RegisterCounterVec("cormi_link_negotiated_version", "wire protocol version negotiated by the link's HELLO exchange",
+		collect(func(l stats.LinkStat) float64 { return float64(l.Version) }))
+	reg.RegisterCounterVec("cormi_link_demoted_classes", "classes demoted to class-level encoding on the link",
+		collect(func(l stats.LinkStat) float64 { return float64(l.DemotedClasses) }))
+	reg.RegisterCounterVec("cormi_link_plan_fallbacks", "objects written through the demoted encoding on the link",
+		collect(func(l stats.LinkStat) float64 { return float64(l.Fallbacks) }))
 }
 
 // registerSiteVecs exposes the per-call-site counters as labeled

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -178,16 +179,20 @@ func (cs *CallSite) claimViolated(c *Cluster, st *stats.SiteCounters) {
 // markers unconditionally), so a refuted claim becomes a counted,
 // dumped event instead of silent corruption or a non-terminating
 // writer.
-func (cs *CallSite) writeChecked(c *Cluster, st *stats.SiteCounters, m *wire.Message, vals []model.Value, plans []*serial.Plan, audit bool) (simtime.OpCount, error) {
-	if audit && cs.cfg.Mode == serial.ModeSite && cs.cfg.CycleElim {
+// lp is the link's negotiated plan table (nil for local calls and
+// homogeneous links); it rides the serializer config so fingerprint-
+// mismatched classes take the class-level encoding.
+func (cs *CallSite) writeChecked(c *Cluster, st *stats.SiteCounters, m *wire.Message, vals []model.Value, plans []*serial.Plan, audit bool, lp *serial.LinkPlans) (simtime.OpCount, error) {
+	cfg := cs.cfg
+	cfg.Link = lp
+	if audit && cfg.Mode == serial.ModeSite && cfg.CycleElim {
 		if v := serial.CheckAcyclic(vals, plans); v != nil {
 			cs.claimViolated(c, st)
-			cfg := cs.cfg
 			cfg.CycleElim = false
 			return serial.WriteValues(m, vals, plans, cfg, c.Counters)
 		}
 	}
-	return serial.WriteValues(m, vals, plans, cs.cfg, c.Counters)
+	return serial.WriteValues(m, vals, plans, cfg, c.Counters)
 }
 
 // takeDonors draws the donor graphs for one deserialization from a
@@ -246,6 +251,12 @@ const (
 	replyAck    = 0
 	replyValues = 1
 	replyError  = 2
+	// replyMalformed reports that the callee's hardened decoder
+	// rejected the call frame (wire.ErrMalformedFrame). Distinct from
+	// replyError so the caller can surface the typed sentinel: a remote
+	// exception is the application's problem, a malformed frame is a
+	// protocol/security event.
+	replyMalformed = 3
 )
 
 // Invoke performs the RMI from caller node n on the object ref under
@@ -358,7 +369,7 @@ func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []
 	}
 	st := &cs.statShards[n.ID]
 	m := wire.Get()
-	wops, err := cs.writeChecked(c, st, m, vals, plans, audit)
+	wops, err := cs.writeChecked(c, st, m, vals, plans, audit, nil)
 	if err != nil {
 		m.Release()
 		return nil, nil, err
@@ -414,7 +425,13 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	m.AppendInt64(ref.Obj)
 	m.AppendInt64(seq)
 	m.AppendInt32(int32(len(args)))
-	ops, err := cs.writeChecked(c, st, m, args, cs.argPlans, audit)
+	// First use of the link performs the HELLO fingerprint exchange;
+	// afterwards this is a bounds check plus a sync.Once fast path.
+	var lp *serial.LinkPlans
+	if l := n.linkTo(ref.Node); l != nil {
+		lp = l.lp
+	}
+	ops, err := cs.writeChecked(c, st, m, args, cs.argPlans, audit, lp)
 	if err != nil {
 		m.Release()
 		sp.Fail("marshal: " + err.Error())
@@ -563,6 +580,16 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		sp.Fail("remote error: " + msg)
 		sp.End()
 		return nil, fmt.Errorf("rmi: remote error from %s: %s", cs.Name, msg)
+	case replyMalformed:
+		// The callee's hardened decoder rejected our frame. Surface the
+		// typed sentinel — retrying the same bytes cannot help.
+		rm := wire.GetReader(rep.payload)
+		msg := rm.ReadString()
+		rm.ReleaseReader()
+		wire.PutBuf(rep.buf)
+		sp.Fail("rejected as malformed: " + msg)
+		sp.End()
+		return nil, fmt.Errorf("rmi: %s: callee rejected frame (%s): %w", cs.Name, msg, ErrMalformedFrame)
 	case replyValues:
 		sp.BeginPhase(trace.PhaseReplyDeserialize)
 		rm := wire.GetReader(rep.payload)
@@ -580,6 +607,11 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		wire.PutBuf(rep.buf)
 		sp.EndPhase(trace.PhaseReplyDeserialize)
 		if err != nil {
+			if errors.Is(err, wire.ErrMalformedFrame) {
+				// A CRC-valid but undecodable reply: count it against
+				// the link it arrived on, same as the callee side does.
+				n.noteMalformed(ref.Node)
+			}
 			sp.Fail("unmarshal reply: " + err.Error())
 			sp.End()
 			return nil, err

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -78,6 +79,10 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 				wire.PutBuf(frame)
 			}
 		default:
+			// CRC-valid frame with an unknown message tag: the sender is
+			// speaking a different protocol (or lying). Not a transport
+			// fault, so it counts as malformed, not corrupt.
+			n.noteMalformed(p.From)
 			wire.PutBuf(frame)
 		}
 	}
@@ -110,7 +115,11 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// and lookup errors reply before a span exists (nil span = no-op).
 	traced := c.tracer != nil && flags&callFlagTraced != 0
 	if m.Err() != nil {
-		n.sendError(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), track, nil)
+		// The header itself is undecodable — nothing in this frame
+		// (including seq) can be trusted, so no dedup entry exists yet
+		// and the reply is best-effort.
+		n.noteMalformed(p.From)
+		n.sendMalformed(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), nil)
 		return
 	}
 
@@ -194,6 +203,19 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	args, roots, ops, err := serial.ReadValuesScratch(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, scratch, c.Counters)
 	sp.EndPhase(trace.PhaseDeserialize)
 	if err != nil {
+		if errors.Is(err, wire.ErrMalformedFrame) {
+			// Hostile or version-skewed payload, rejected by the
+			// hardened decoder. Withdraw the in-flight dedup entry: its
+			// (from, seq) key came from the same untrusted frame, and
+			// leaving it cached would let a forged frame swallow an
+			// honest retransmit stream.
+			n.noteMalformed(p.From)
+			if track {
+				n.dedupAbort(dedupKey{from: p.From, seq: seq})
+			}
+			n.sendMalformed(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), sp)
+			return
+		}
 		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), track, sp)
 		return
 	}
@@ -261,7 +283,11 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	} else {
 		m.AppendByte(replyValues)
 		m.AppendInt32(int32(len(rets)))
-		ops, werr := cs.writeChecked(c, st, m, rets, cs.retPlans, audit)
+		var lp *serial.LinkPlans
+		if l := n.linkTo(from); l != nil {
+			lp = l.lp
+		}
+		ops, werr := cs.writeChecked(c, st, m, rets, cs.retPlans, audit, lp)
 		if werr != nil {
 			m.Release()
 			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track, sp)
@@ -310,4 +336,20 @@ func (n *Node) sendError(to int, seq, floor int64, msg string, track bool, sp *t
 	m.AppendByte(replyError)
 	m.AppendString(msg)
 	n.sendReply(to, seq, floor, m, track, sp)
+}
+
+// sendMalformed answers a call whose frame the decoder rejected. The
+// reply carries the replyMalformed flag so the caller surfaces a typed
+// ErrMalformedFrame instead of a generic remote exception, and it is
+// never tracked: the dedup cache must hold nothing keyed by fields of
+// an untrusted frame.
+func (n *Node) sendMalformed(to int, seq, floor int64, msg string, sp *trace.Span) {
+	sp.Fail(msg)
+	sp.BeginPhase(trace.PhaseReplySerialize)
+	m := wire.Get()
+	m.AppendByte(msgReply)
+	m.AppendInt64(seq)
+	m.AppendByte(replyMalformed)
+	m.AppendString(msg)
+	n.sendReply(to, seq, floor, m, false, sp)
 }

@@ -1,0 +1,166 @@
+package rmi
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cormi/internal/serial"
+	"cormi/internal/stats"
+	"cormi/internal/wire"
+)
+
+// Link-level version negotiation.
+//
+// Every directed link performs a HELLO fingerprint exchange before its
+// first payload frame: each side states its wire protocol version and
+// one fingerprint per class (serial.ClassFingerprint of the layout its
+// compiled plans assume). Classes whose fingerprints disagree are
+// demoted to the self-describing class-level encoding for the life of
+// the link (serial.Negotiate), so a mixed-version cluster keeps
+// serving correct traffic at class-mode cost instead of failing or —
+// far worse — silently mis-decoding planned frames.
+//
+// The exchange is lazy (first use of the link) because applications
+// register classes and compile sites after the cluster is built, and
+// it runs over the control plane rather than the lossy data plane:
+// in-process the two HELLOs are handed across directly, while the TCP
+// transport additionally stamps each connection with a version
+// preamble (wire.Preamble). The HELLO bytes still round-trip through
+// wire.EncodeHello/DecodeHello so the hardened handshake decoder is on
+// the real path; an undecodable HELLO degrades the link to all-classes
+// demoted rather than trusting an unverifiable peer.
+
+// skewSalt perturbs fingerprints under WithPlanSkew, simulating a peer
+// whose plans were compiled from a different program version.
+const skewSalt = 0x9e3779b97f4a7c15
+
+// nodeLink is one directed link's negotiated wire state, initialized
+// at most once on first use.
+type nodeLink struct {
+	once sync.Once
+	// lp is the negotiated plan table; nil when every fingerprint
+	// agreed (the homogeneous fast path — writers pay one nil check).
+	lp *serial.LinkPlans
+	// version is the link's negotiated protocol version,
+	// min(local, remote); peerPlans is the peer's plan generation.
+	version   int32
+	peerPlans int32
+	// malformedDumped latches the one flight-recorder dump this link
+	// records on its first malformed frame.
+	malformedDumped atomic.Bool
+	ready           atomic.Bool
+}
+
+// linkTo returns the negotiated link state for the peer, performing
+// the HELLO exchange on first use. After initialization the call is a
+// bounds check plus sync.Once fast path. Out-of-range peers (hostile
+// From fields) return nil.
+func (n *Node) linkTo(peer int) *nodeLink {
+	if peer < 0 || peer >= len(n.links) {
+		return nil
+	}
+	l := &n.links[peer]
+	l.once.Do(func() {
+		n.cluster.negotiateLink(n.ID, peer, l)
+		l.ready.Store(true)
+	})
+	return l
+}
+
+// helloBytes builds the encoded HELLO frame node would send: protocol
+// version, plan generation, and the fingerprint of every registered
+// class, with WithPlanSkew salts applied.
+func (c *Cluster) helloBytes(node int) []byte {
+	c.fpOnce.Do(func() { c.fps = serial.RegistryFingerprints(c.Registry) })
+	fps := c.fps
+	h := &wire.Hello{Version: wire.ProtocolVersion, PlanVersion: 1, Node: int32(node)}
+	skewClasses, skewed := c.skew[node]
+	var skewSet map[string]bool
+	if skewed {
+		h.PlanVersion = 2
+		if len(skewClasses) > 0 {
+			skewSet = make(map[string]bool, len(skewClasses))
+			for _, name := range skewClasses {
+				skewSet[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(fps))
+	for name := range fps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fp := fps[name]
+		if skewed && (skewSet == nil || skewSet[name]) {
+			fp ^= skewSalt
+		}
+		h.Entries = append(h.Entries, wire.HelloEntry{Name: name, FP: fp})
+	}
+	return wire.EncodeHello(h)
+}
+
+// negotiateLink performs the HELLO exchange for the link local→peer
+// and fills l. Both HELLOs pass through the hardened DecodeHello; a
+// HELLO that fails to decode demotes every class rather than trusting
+// the peer's plans.
+func (c *Cluster) negotiateLink(local, peer int, l *nodeLink) {
+	localHello, lerr := wire.DecodeHello(c.helloBytes(local))
+	peerHello, perr := wire.DecodeHello(c.helloBytes(peer))
+	if lerr != nil || perr != nil {
+		l.version = wire.ProtocolVersion
+		l.lp = serial.DemoteAll(c.Registry)
+		return
+	}
+	l.version = localHello.Version
+	if peerHello.Version < l.version {
+		l.version = peerHello.Version
+	}
+	l.peerPlans = peerHello.PlanVersion
+	l.lp = serial.Negotiate(c.Registry, fpMap(localHello), fpMap(peerHello))
+}
+
+func fpMap(h *wire.Hello) map[string]uint64 {
+	m := make(map[string]uint64, len(h.Entries))
+	for _, e := range h.Entries {
+		m[e.Name] = e.FP
+	}
+	return m
+}
+
+// noteMalformed records a malformed frame received from peer: the
+// cluster-wide counter, and a one-shot flight-recorder dump per link
+// so the first hostile frame leaves forensics without letting an
+// attacker flood the recorder.
+func (n *Node) noteMalformed(from int) {
+	c := n.cluster
+	c.Counters.MalformedFrames.Add(1)
+	if l := n.linkTo(from); l != nil && l.malformedDumped.CompareAndSwap(false, true) {
+		c.tracer.DumpFailure("malformed-frame")
+	}
+}
+
+// LinkStats snapshots every negotiated link in the cluster (links that
+// have never carried traffic are omitted). Surfaced on /links and in
+// the rmibench negotiation report.
+func (c *Cluster) LinkStats() []stats.LinkStat {
+	var out []stats.LinkStat
+	for _, n := range c.nodes {
+		for peer := range n.links {
+			l := &n.links[peer]
+			if !l.ready.Load() {
+				continue
+			}
+			out = append(out, stats.LinkStat{
+				From:           n.ID,
+				To:             peer,
+				Version:        l.version,
+				PeerPlans:      l.peerPlans,
+				DemotedClasses: l.lp.DemotedCount(),
+				Fallbacks:      l.lp.Fallbacks(),
+			})
+		}
+	}
+	return out
+}

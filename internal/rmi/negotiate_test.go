@@ -1,0 +1,188 @@
+package rmi
+
+import (
+	"testing"
+	"time"
+
+	"cormi/internal/model"
+	"cormi/internal/serial"
+	"cormi/internal/transport"
+	"cormi/internal/wire"
+)
+
+// TestHomogeneousNegotiation: identical registries must negotiate to a
+// nil plan table (the one-nil-check hot path) and count zero fallbacks.
+func TestHomogeneousNegotiation(t *testing.T) {
+	e := newEnv(t, 2)
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSite, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", true, false)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	if _, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(5))}); err != nil {
+		t.Fatal(err)
+	}
+	l := e.c.Node(0).linkTo(1)
+	if l == nil || !l.ready.Load() {
+		t.Fatal("link 0->1 not negotiated after a call")
+	}
+	if l.lp != nil {
+		t.Fatalf("homogeneous link negotiated %d demotions", l.lp.DemotedCount())
+	}
+	if l.version != wire.ProtocolVersion {
+		t.Fatalf("negotiated version %d", l.version)
+	}
+	if fb := e.c.Counters.PlanFallbacks.Load(); fb != 0 {
+		t.Fatalf("homogeneous cluster counted %d fallbacks", fb)
+	}
+}
+
+// TestSkewedClusterDemotesAndStaysCorrect: with node 1 skewed, site
+// calls still return correct results, fallbacks are counted, and
+// LinkStats reports the demotions.
+func TestSkewedClusterDemotesAndStaysCorrect(t *testing.T) {
+	e := newEnv(t, 2, WithPlanSkew(1))
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSite, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", true, false)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	for i := 0; i < 4; i++ {
+		rets, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(10))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rets[0].I != 45 {
+			t.Fatalf("sum over skewed link = %d, want 45", rets[0].I)
+		}
+	}
+	if fb := e.c.Counters.PlanFallbacks.Load(); fb == 0 {
+		t.Fatal("skewed link counted no plan fallbacks")
+	}
+	ls := e.c.LinkStats()
+	if len(ls) == 0 {
+		t.Fatal("no negotiated links reported")
+	}
+	var saw bool
+	for _, l := range ls {
+		if l.From == 0 && l.To == 1 {
+			saw = true
+			if l.DemotedClasses == 0 {
+				t.Error("link 0->1 reports no demoted classes")
+			}
+			if l.Fallbacks == 0 {
+				t.Error("link 0->1 reports no fallbacks")
+			}
+			if l.PeerPlans != 2 {
+				t.Errorf("peer plan generation %d, want 2 (skewed)", l.PeerPlans)
+			}
+		}
+	}
+	if !saw {
+		t.Fatalf("link 0->1 missing from %+v", ls)
+	}
+}
+
+// TestMalformedCallFrameRejectedTyped injects a crafted call frame with
+// a valid header but hostile arguments, and checks the full rejection
+// pipeline: typed counter incremented, the dedup cache holds nothing
+// for the forged key — an honest retransmit stream under the same
+// (from, seq) must not be swallowed — and the link keeps serving.
+func TestMalformedCallFrameRejectedTyped(t *testing.T) {
+	e := newEnv(t, 2)
+	ref := e.c.Node(1).Export(e.sumService())
+	cs := e.c.MustNewCallSite(LevelSite, SiteSpec{
+		Name: "t.sum.1", Method: "sum",
+		ArgPlans: []*serial.Plan{e.listPlan("t.sum.1", true, false)},
+		RetPlans: []*serial.Plan{intPlan("t.sum.1")},
+	})
+	// A warm-up call negotiates the link and proves the site works.
+	if _, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(3))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft the hostile frame: valid msgCall header addressed to the
+	// real site and object, one argument, then a bad reference marker.
+	const forgedSeq = 999_999
+	m := wire.Get()
+	m.AppendByte(msgCall)
+	m.AppendByte(callFlagRetryable)
+	m.AppendInt32(cs.ID)
+	m.AppendInt64(ref.Obj)
+	m.AppendInt64(forgedSeq)
+	m.AppendInt32(1)
+	m.AppendByte(77) // no such reference marker
+	m.SealFrame()
+	if err := e.c.Network().Endpoint(0).Send(transport.Packet{To: 1, Payload: m.Detach()}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for e.c.Counters.MalformedFrames.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed frame never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The forged key must not linger in the callee's dedup cache. Poll:
+	// the entry is admitted before unmarshal and withdrawn on rejection.
+	callee := e.c.Node(1)
+	held := true
+	for deadline = time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		callee.dedupMu.Lock()
+		_, held = callee.dedup[dedupKey{from: 0, seq: forgedSeq}]
+		callee.dedupMu.Unlock()
+		if !held {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if held {
+		t.Fatal("dedup cache retained an entry keyed by a malformed frame")
+	}
+
+	// The link still serves honest traffic afterwards.
+	rets, err := cs.Invoke(e.c.Node(0), ref, []model.Value{model.Ref(e.makeList(3))})
+	if err != nil {
+		t.Fatalf("honest call after malformed frame: %v", err)
+	}
+	if rets[0].I != 3 {
+		t.Fatalf("sum = %d, want 3", rets[0].I)
+	}
+}
+
+// TestUnknownMessageTagCountsMalformed: a CRC-valid frame with an
+// unknown tag is a protocol violation, not transport corruption.
+func TestUnknownMessageTagCountsMalformed(t *testing.T) {
+	e := newEnv(t, 2)
+	m := wire.Get()
+	m.AppendByte(0xEE)
+	m.SealFrame()
+	if err := e.c.Network().Endpoint(0).Send(transport.Packet{To: 1, Payload: m.Detach()}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.c.Counters.MalformedFrames.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unknown-tag frame never counted as malformed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.c.Counters.CorruptDropped.Load(); got != 0 {
+		t.Fatalf("unknown tag miscounted as corruption (%d)", got)
+	}
+}
+
+func TestNoteMalformedOutOfRangePeer(t *testing.T) {
+	e := newEnv(t, 2)
+	// A hostile From field outside the cluster must not panic and must
+	// still count.
+	e.c.Node(0).noteMalformed(99)
+	e.c.Node(0).noteMalformed(-3)
+	if got := e.c.Counters.MalformedFrames.Load(); got != 2 {
+		t.Fatalf("MalformedFrames = %d, want 2", got)
+	}
+}

@@ -3,6 +3,8 @@ package rmi
 import (
 	"errors"
 	"time"
+
+	"cormi/internal/wire"
 )
 
 // Sentinel errors for the failure paths a remote call can take. Wrap
@@ -17,6 +19,11 @@ var (
 	// ErrClusterClosed is returned for calls pending or issued across
 	// Cluster.Close.
 	ErrClusterClosed = errors.New("rmi: cluster closed")
+	// ErrMalformedFrame is wire.ErrMalformedFrame re-exported at the
+	// RMI layer: a CRC-valid frame whose content violated the protocol
+	// (hostile or version-skewed input). Distinct from the transport
+	// faults above — retrying the same bytes cannot succeed.
+	ErrMalformedFrame = wire.ErrMalformedFrame
 )
 
 // CallPolicy bounds one remote invocation in real (wall-clock) time:

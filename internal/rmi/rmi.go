@@ -179,6 +179,20 @@ type Cluster struct {
 	claimEvery int64
 	claimTick  atomic.Int64
 
+	// skew maps node ID → class names whose plan fingerprints that node
+	// advertises with a version-skew salt (empty slice = all classes).
+	// Test/chaos-harness knob (WithPlanSkew) simulating a mixed-version
+	// cluster: the skewed node's HELLO disagrees with its peers', so
+	// links to and from it negotiate those classes down to the
+	// class-level encoding. nil in production-shaped clusters.
+	skew map[int][]string
+
+	// fpOnce guards the one registry fingerprint pass shared by every
+	// link negotiation: model.Class.AllFields caches lazily, so the
+	// flattening must not race when several links negotiate at once.
+	fpOnce sync.Once
+	fps    map[string]uint64
+
 	siteMu sync.RWMutex
 	sites  []*CallSite
 
@@ -201,6 +215,7 @@ type clusterOpts struct {
 	dedupCap   int
 	tracer     *trace.Tracer
 	claimEvery int64
+	skew       map[int][]string
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -267,6 +282,22 @@ func WithClaimCheck(p ClaimCheckPolicy) Option {
 	return func(o *clusterOpts) { o.claimEvery = p.Every }
 }
 
+// WithPlanSkew makes node advertise version-skewed plan fingerprints
+// for the named classes (all classes when none are named), simulating
+// a cluster whose nodes were compiled from different program versions.
+// Links touching the skewed node negotiate the affected classes down
+// to the universal class-level encoding at HELLO time, so traffic
+// keeps flowing correctly — at class-mode cost — instead of
+// mis-decoding. This is the chaos harness's version-skew knob.
+func WithPlanSkew(node int, classes ...string) Option {
+	return func(o *clusterOpts) {
+		if o.skew == nil {
+			o.skew = make(map[int][]string)
+		}
+		o.skew[node] = classes
+	}
+}
+
 // New creates a cluster of n nodes (default: in-process channel
 // network) and starts their receive loops.
 func New(n int, opts ...Option) *Cluster {
@@ -296,6 +327,7 @@ func New(n int, opts ...Option) *Cluster {
 		faulty:     faulty,
 		tracer:     o.tracer,
 		claimEvery: o.claimEvery,
+		skew:       o.skew,
 		done:       make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
@@ -437,6 +469,11 @@ type Node struct {
 	// recvMu is the paper's per-node unmarshaler lock: only one thread
 	// drains the network and deserializes at a time.
 	recvMu sync.Mutex
+
+	// links holds the lazily negotiated per-peer wire state, one slot
+	// per cluster node (see negotiate.go). Each slot initializes at
+	// most once, on the first frame exchanged with that peer.
+	links []nodeLink
 }
 
 // dedupKey identifies one call attempt stream: sequence numbers are
@@ -478,6 +515,7 @@ func newNode(c *Cluster, id int) *Node {
 		objects: make(map[int64]*Service),
 		pending: make(map[int64]chan reply),
 		dedup:   make(map[dedupKey]*dedupEntry),
+		links:   make([]nodeLink, len(c.nodes)),
 	}
 }
 
@@ -606,4 +644,27 @@ func (n *Node) dedupComplete(key dedupKey, payload []byte, ts int64) {
 	}
 	n.dedupMu.Unlock()
 	wire.PutBuf(payload)
+}
+
+// dedupAbort withdraws an in-flight dedup entry whose call turned out
+// to be undecodable. A malformed frame must never poison the cache: if
+// its (from, seq) pair collides with a legitimate retransmit stream —
+// trivial for a frame forger — a cached entry would swallow the honest
+// retry forever. Aborting leaves the cache exactly as if the frame had
+// failed its checksum. Entries that already completed are kept: the
+// call executed, so its reply cache is legitimate.
+func (n *Node) dedupAbort(key dedupKey) {
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	e, ok := n.dedup[key]
+	if !ok || e.done {
+		return
+	}
+	delete(n.dedup, key)
+	for i, k := range n.dedupQ {
+		if k == key {
+			n.dedupQ = append(n.dedupQ[:i], n.dedupQ[i+1:]...)
+			break
+		}
+	}
 }

@@ -6,6 +6,19 @@ import (
 	"cormi/internal/stats"
 )
 
+// MaxHandleEntries bounds the receive-side handle table (the mirror of
+// the write-side cycle table): the number of objects a single frame
+// may register for refHandle back-references. The paper's workloads
+// top out at ~100 objects per message (a LinkedList of list_elems
+// nodes, an LU block column); 65536 is three orders of magnitude above
+// that and still small enough that a hostile frame hitting the cap has
+// committed well under the frame's own size in table memory. The
+// write side needs no cap: it serializes graphs the local program
+// built, and the table grows one entry per real object. The read side
+// enforces the cap in readCtx.register — a frame that overflows it is
+// rejected with wire.ErrMalformedFrame.
+const MaxHandleEntries = 1 << 16
+
 // writeTable is the cycle-detection hash-table of the serializer: it
 // maps every object already written to its transmission index so that
 // re-encounters become handles instead of infinite recursion. Creating

@@ -1,0 +1,110 @@
+package serial
+
+import (
+	"sync/atomic"
+
+	"cormi/internal/model"
+)
+
+// LinkPlans is the negotiated serialization agreement for one directed
+// link, produced from the HELLO fingerprint exchange at connect time.
+// It records which classes were demoted: a demoted class is written
+// with the universal self-describing class-level encoding
+// (refNewDynamic) on this link even where a compiled site plan exists,
+// because the peer's plan for it was compiled from a different layout
+// and would mis-decode the planned form. The read side needs no
+// counterpart — the reference marker dispatch in readRef decodes
+// dynamic bodies correctly under any plan — so negotiation is a pure
+// write-side table.
+//
+// The demotion set is immutable after Negotiate; only the fallback
+// counter mutates, so a LinkPlans is safe for concurrent use by every
+// sender on the link. A nil *LinkPlans means "nothing demoted" and is
+// the homogeneous-cluster fast path: writers pay one nil check.
+type LinkPlans struct {
+	demoted []uint64 // bitset over class IDs; immutable after Negotiate
+	count   int      // number of demoted classes
+	version int32    // negotiated wire protocol version of the link
+
+	fallbacks atomic.Int64 // objects demoted to class-level encoding
+}
+
+// Negotiate compares the local and remote per-class fingerprint tables
+// and returns the link's plan table, or nil when every class agrees
+// (so the homogeneous common case carries no per-link state at all).
+// A class is demoted when the peer's fingerprint differs or the peer
+// does not advertise the class; classes only the peer knows need no
+// entry because the local writer can never emit them.
+func Negotiate(reg *model.Registry, local, remote map[string]uint64) *LinkPlans {
+	var lp *LinkPlans
+	for _, name := range reg.Names() {
+		lfp, lok := local[name]
+		rfp, rok := remote[name]
+		if lok && rok && lfp == rfp {
+			continue
+		}
+		c, ok := reg.ByName(name)
+		if !ok {
+			continue
+		}
+		if lp == nil {
+			lp = &LinkPlans{version: 1}
+		}
+		lp.demote(c.ID)
+	}
+	return lp
+}
+
+// DemoteAll returns a table with every registered class demoted — the
+// conservative fallback when a peer's HELLO cannot be decoded at all.
+func DemoteAll(reg *model.Registry) *LinkPlans {
+	lp := &LinkPlans{version: 1}
+	for _, name := range reg.Names() {
+		if c, ok := reg.ByName(name); ok {
+			lp.demote(c.ID)
+		}
+	}
+	return lp
+}
+
+func (lp *LinkPlans) demote(id int32) {
+	w := int(uint32(id) >> 6)
+	for len(lp.demoted) <= w {
+		lp.demoted = append(lp.demoted, 0)
+	}
+	bit := uint64(1) << (uint32(id) & 63)
+	if lp.demoted[w]&bit == 0 {
+		lp.demoted[w] |= bit
+		lp.count++
+	}
+}
+
+// Demoted reports whether c must use the class-level encoding on this
+// link. Classes registered after negotiation (IDs beyond the bitset)
+// read as not-demoted: the HELLO couldn't have covered them, and in
+// the shared-registry deployments this runtime models their layouts
+// are identical by construction.
+func (lp *LinkPlans) Demoted(c *model.Class) bool {
+	if lp == nil {
+		return false
+	}
+	w := int(uint32(c.ID) >> 6)
+	return w < len(lp.demoted) && lp.demoted[w]&(1<<(uint32(c.ID)&63)) != 0
+}
+
+// DemotedCount returns how many classes the negotiation demoted.
+func (lp *LinkPlans) DemotedCount() int {
+	if lp == nil {
+		return 0
+	}
+	return lp.count
+}
+
+// Fallbacks returns how many objects this link has written through the
+// demoted class-level encoding.
+func (lp *LinkPlans) Fallbacks() int64 {
+	if lp == nil {
+		return 0
+	}
+	return lp.fallbacks.Load()
+}

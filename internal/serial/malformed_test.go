@@ -1,0 +1,266 @@
+package serial
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cormi/internal/model"
+	"cormi/internal/stats"
+	"cormi/internal/wire"
+)
+
+// Adversarial deserialization suite: every frame here is CRC-plausible
+// input an attacker (or a badly skewed peer) could hand the decoder.
+// The contract under test is uniform — a typed wire.ErrMalformedFrame,
+// no panic, no unbounded allocation, and no leaked pooled read context.
+
+// hostileFrame builds a class-mode frame whose single value is a
+// reference encoded by body.
+func hostileFrame(body func(m *wire.Message)) []byte {
+	m := wire.NewMessage(64)
+	m.AppendByte(byte(model.FRef))
+	body(m)
+	return m.Bytes()
+}
+
+// decodeClass runs one class-mode decode of a hostile frame.
+func decodeClass(w *testWorld, frame []byte) error {
+	var c stats.Counters
+	_, _, _, err := ReadValues(wire.FromBytes(frame), w.reg, 1, nil, Config{Mode: ModeClass}, nil, &c)
+	return err
+}
+
+// validListFrame writes a 10-node list with the site plan, for the
+// truncation and budget tests.
+func validListFrame(t *testing.T, w *testWorld, plan *Plan) []byte {
+	t.Helper()
+	var c stats.Counters
+	m := wire.NewMessage(0)
+	if _, err := WriteValues(m, []model.Value{model.Ref(w.makeList(10))}, []*Plan{plan}, Config{Mode: ModeSite}, &c); err != nil {
+		t.Fatal(err)
+	}
+	return m.Bytes()
+}
+
+func TestMalformedFrames(t *testing.T) {
+	w := newWorld()
+	refArray := w.reg.ArrayOf(w.leaf)
+	doubleArray := w.reg.DoubleArray()
+	plan := w.nodeListPlan(false)
+	listFrame := validListFrame(t, w, plan)
+
+	cases := []struct {
+		name  string
+		frame []byte
+		site  bool // decode with the site plan instead of class mode
+	}{
+		{"truncated planned payload", listFrame[:len(listFrame)-4], true},
+		{"empty frame", nil, false},
+		{"bad value kind", []byte{9}, false},
+		{"bad reference marker", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(77)
+		}), false},
+		{"dangling handle", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(refHandle)
+			m.AppendInt32(5)
+		}), false},
+		{"negative handle", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(refHandle)
+			m.AppendInt32(-1)
+		}), false},
+		{"unknown class ID", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(refNewDynamic)
+			m.AppendInt32(9999)
+		}), false},
+		// The oversized-declared-length attack: a 10-byte frame claiming
+		// a 2-billion-element reference array. The ≥1-byte-per-element
+		// payload bound must reject it before the element slice exists.
+		{"ref-array length bomb", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(refNewDynamic)
+			m.AppendInt32(refArray.ID)
+			m.AppendInt32(0x7fffffff)
+		}), false},
+		{"negative ref-array length", hostileFrame(func(m *wire.Message) {
+			m.AppendByte(refNewDynamic)
+			m.AppendInt32(refArray.ID)
+			m.AppendInt32(-5)
+		}), false},
+		// Handle-count overflow: a ref array of empty double[] elements,
+		// each registering one handle, crossing MaxHandleEntries.
+		{"handle table overflow", hostileFrame(func(m *wire.Message) {
+			n := MaxHandleEntries + 64
+			m.AppendByte(refNewDynamic)
+			m.AppendInt32(refArray.ID)
+			m.AppendInt32(int32(n))
+			for i := 0; i < n; i++ {
+				m.AppendByte(refNewDynamic)
+				m.AppendInt32(doubleArray.ID)
+				m.AppendInt32(0) // zero-length float payload
+			}
+		}), false},
+		// Depth bomb: Node nested through its next field past
+		// MaxDecodeDepth, one dynamic object header per level.
+		{"recursive depth bomb", hostileFrame(func(m *wire.Message) {
+			for i := 0; i < MaxDecodeDepth+8; i++ {
+				m.AppendByte(refNewDynamic)
+				m.AppendInt32(w.node.ID)
+				m.AppendInt64(int64(i)) // field v
+			}
+			m.AppendByte(refNull)
+		}), false},
+	}
+
+	before := ReadCtxStats()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			if tc.site {
+				var c stats.Counters
+				_, _, _, err = ReadValues(wire.FromBytes(tc.frame), w.reg, 1,
+					[]*Plan{plan}, Config{Mode: ModeSite}, nil, &c)
+			} else {
+				err = decodeClass(w, tc.frame)
+			}
+			if err == nil {
+				t.Fatal("hostile frame decoded without error")
+			}
+			if !errors.Is(err, wire.ErrMalformedFrame) {
+				t.Fatalf("error %v is not wire.ErrMalformedFrame", err)
+			}
+		})
+	}
+	after := ReadCtxStats()
+	// Every rejected decode must still release its pooled read context.
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("read contexts leaked across malformed decodes: %d gets, %d puts", gets, puts)
+	}
+	if after.Outstanding != before.Outstanding {
+		t.Fatalf("outstanding read contexts drifted: %d -> %d", before.Outstanding, after.Outstanding)
+	}
+}
+
+// TestImplausibleValueCount covers the header-level bound: the declared
+// value count itself is hostile input.
+func TestImplausibleValueCount(t *testing.T) {
+	w := newWorld()
+	var c stats.Counters
+	for _, n := range []int{-1, MaxWireValues + 1} {
+		_, _, _, err := ReadValues(wire.FromBytes(nil), w.reg, n, nil, Config{Mode: ModeClass}, nil, &c)
+		if !errors.Is(err, wire.ErrMalformedFrame) {
+			t.Fatalf("count %d: err = %v, want ErrMalformedFrame", n, err)
+		}
+	}
+}
+
+// TestLengthBombAllocationBound pins the headline hardening property:
+// a ~10-byte hostile frame declaring a 2-billion-element array is
+// rejected in O(1) allocations — the declared size never materializes.
+func TestLengthBombAllocationBound(t *testing.T) {
+	w := newWorld()
+	refArray := w.reg.ArrayOf(w.leaf)
+	frame := hostileFrame(func(m *wire.Message) {
+		m.AppendByte(refNewDynamic)
+		m.AppendInt32(refArray.ID)
+		m.AppendInt32(0x7fffffff)
+	})
+	if len(frame) > 64 {
+		t.Fatalf("hostile frame is %d bytes, want tiny", len(frame))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := decodeClass(w, frame); err == nil {
+			t.Fatal("length bomb decoded")
+		}
+	})
+	if allocs > 16 {
+		t.Fatalf("rejecting a %d-byte length bomb cost %.0f allocs", len(frame), allocs)
+	}
+}
+
+// TestDecodeBudget exercises the per-frame allocation byte budget
+// directly by shrinking it: a frame whose graph outgrows the budget is
+// rejected with the typed error, and restoring the budget re-admits it.
+func TestDecodeBudget(t *testing.T) {
+	w := newWorld()
+	plan := w.nodeListPlan(false)
+	frame := validListFrame(t, w, plan)
+	var c stats.Counters
+
+	base, per := decodeBudgetBase, decodeBudgetPerByte
+	defer func() { decodeBudgetBase, decodeBudgetPerByte = base, per }()
+	decodeBudgetBase, decodeBudgetPerByte = 32, 0
+
+	_, _, _, err := ReadValues(wire.FromBytes(frame), w.reg, 1, []*Plan{plan}, Config{Mode: ModeSite}, nil, &c)
+	if !errors.Is(err, wire.ErrMalformedFrame) {
+		t.Fatalf("over-budget decode: err = %v, want ErrMalformedFrame", err)
+	}
+
+	decodeBudgetBase, decodeBudgetPerByte = base, per
+	if _, _, _, err := ReadValues(wire.FromBytes(frame), w.reg, 1, []*Plan{plan}, Config{Mode: ModeSite}, nil, &c); err != nil {
+		t.Fatalf("decode under the real budget failed: %v", err)
+	}
+}
+
+// TestDefaultBudgetAdmitsPaperWorkloads checks the budget constants
+// against the paper's largest message shape (a 100-element list) with
+// generous margin: hardening must not reject legitimate traffic.
+func TestDefaultBudgetAdmitsPaperWorkloads(t *testing.T) {
+	w := newWorld()
+	var c stats.Counters
+	m := wire.NewMessage(0)
+	if _, err := WriteValues(m, []model.Value{model.Ref(w.makeList(1000))}, nil, Config{Mode: ModeClass}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadValues(wire.FromBytes(m.Bytes()), w.reg, 1, nil, Config{Mode: ModeClass}, nil, &c); err != nil {
+		t.Fatalf("1000-element list rejected by decode budget: %v", err)
+	}
+}
+
+// TestMalformedDoesNotStickToPool ensures a message poisoned by Fail
+// does not leave state behind when its buffers recycle: decode a
+// hostile frame, then a valid one, through the same pooled paths.
+func TestMalformedDoesNotStickToPool(t *testing.T) {
+	w := newWorld()
+	plan := w.nodeListPlan(false)
+	frame := validListFrame(t, w, plan)
+	bad := append([]byte(nil), frame[:len(frame)-6]...)
+	var c stats.Counters
+	for i := 0; i < 8; i++ {
+		if _, _, _, err := ReadValues(wire.FromBytes(bad), w.reg, 1, []*Plan{plan}, Config{Mode: ModeSite}, nil, &c); err == nil {
+			t.Fatal("truncated frame decoded")
+		}
+		got, _, _, err := ReadValues(wire.FromBytes(frame), w.reg, 1, []*Plan{plan}, Config{Mode: ModeSite}, nil, &c)
+		if err != nil {
+			t.Fatalf("valid decode after malformed one failed: %v", err)
+		}
+		if got[0].O.Get("v").I != 0 {
+			t.Fatal("valid decode corrupted after malformed frame")
+		}
+	}
+}
+
+// TestHandleOverflowErrorMentionsCap pins the diagnostic: operators
+// debugging a rejected frame need the limit in the message.
+func TestHandleOverflowErrorMentionsCap(t *testing.T) {
+	w := newWorld()
+	refArray := w.reg.ArrayOf(w.leaf)
+	doubleArray := w.reg.DoubleArray()
+	n := MaxHandleEntries + 1
+	frame := hostileFrame(func(m *wire.Message) {
+		m.AppendByte(refNewDynamic)
+		m.AppendInt32(refArray.ID)
+		m.AppendInt32(int32(n))
+		for i := 0; i < n; i++ {
+			m.AppendByte(refNewDynamic)
+			m.AppendInt32(doubleArray.ID)
+			m.AppendInt32(0)
+		}
+	})
+	err := decodeClass(w, frame)
+	if !errors.Is(err, wire.ErrMalformedFrame) {
+		t.Fatalf("err = %v", err)
+	}
+	if want := "handle table overflow"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // bad frame drive an arbitrarily large allocation.
 const MaxWireValues = 1 << 16
 
+// MaxDecodeDepth caps readRef recursion. Legitimate graphs recurse one
+// level per parent-child edge — the paper's deepest structure is a
+// 100-element linked list — so 4096 leaves enormous headroom while
+// stopping a hostile frame from exhausting the goroutine stack with a
+// marker-per-byte nesting bomb.
+const MaxDecodeDepth = 4096
+
 // ReadValues deserializes n values written by WriteValues under the
 // same configuration. In site mode, plans must match the writer's
 // plans. cached, when non-nil, supplies per-value root objects from a
@@ -34,7 +41,7 @@ func ReadValues(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg 
 // objects the donor graphs cannot absorb.
 func ReadValuesScratch(m *wire.Message, reg *model.Registry, n int, plans []*Plan, cfg Config, cached []*model.Object, scratch []model.Value, c *stats.Counters) (vals []model.Value, roots []*model.Object, ops simtime.OpCount, err error) {
 	if n < 0 || n > MaxWireValues {
-		return nil, nil, ops, fmt.Errorf("serial: implausible value count %d", n)
+		return nil, nil, ops, fmt.Errorf("%w: implausible value count %d", wire.ErrMalformedFrame, n)
 	}
 	if cfg.Mode == ModeSite && len(plans) != n {
 		return nil, nil, ops, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), n)
@@ -98,7 +105,10 @@ func readBody(rc *readCtx, n int, plans []*Plan, cfg Config, cached []*model.Obj
 			vals[i] = model.Ref(o)
 			roots[i] = o
 		default:
-			return nil, nil, fmt.Errorf("serial: bad value kind %d at index %d", kind, i)
+			if m.Err() != nil {
+				return nil, nil, m.Err()
+			}
+			return nil, nil, fmt.Errorf("%w: bad value kind %d at index %d", wire.ErrMalformedFrame, kind, i)
 		}
 	}
 	if m.Err() != nil {
@@ -112,6 +122,16 @@ func readBody(rc *readCtx, n int, plans []*Plan, cfg Config, cached []*model.Obj
 // invocation; if its shape matches, it is overwritten in place instead
 // of allocating (Figure 13).
 func readRef(rc *readCtx, np *NodePlan, old *model.Object) (*model.Object, error) {
+	if rc.depth++; rc.depth > MaxDecodeDepth {
+		rc.depth--
+		return nil, fmt.Errorf("%w: reference nesting exceeds depth %d", wire.ErrMalformedFrame, MaxDecodeDepth)
+	}
+	o, err := readRefBody(rc, np, old)
+	rc.depth--
+	return o, err
+}
+
+func readRefBody(rc *readCtx, np *NodePlan, old *model.Object) (*model.Object, error) {
 	switch marker := rc.m.ReadU8(); marker {
 	case refNull:
 		return nil, nil
@@ -119,21 +139,22 @@ func readRef(rc *readCtx, np *NodePlan, old *model.Object) (*model.Object, error
 		h := rc.m.ReadInt32()
 		o := rc.resolve(h)
 		if o == nil && rc.m.Err() == nil {
-			return nil, fmt.Errorf("serial: dangling handle %d", h)
+			return nil, fmt.Errorf("%w: dangling handle %d (table has %d entries)",
+				wire.ErrMalformedFrame, h, len(rc.handles))
 		}
 		return o, nil
 	case refNewDynamic:
 		return readDynamicBody(rc)
 	case refNew:
 		if np == nil {
-			return nil, fmt.Errorf("serial: planned object on wire but no plan on reader")
+			return nil, fmt.Errorf("%w: planned object on wire but no plan on reader", wire.ErrMalformedFrame)
 		}
 		return readPlannedBody(rc, np, old)
 	default:
 		if rc.m.Err() != nil {
 			return nil, rc.m.Err()
 		}
-		return nil, fmt.Errorf("serial: bad reference marker %d", marker)
+		return nil, fmt.Errorf("%w: bad reference marker %d", wire.ErrMalformedFrame, marker)
 	}
 }
 
@@ -163,7 +184,7 @@ func readDynamicBody(rc *readCtx) (*model.Object, error) {
 	}
 	class, ok := rc.reg.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("serial: unknown class ID %d", id)
+		return nil, fmt.Errorf("%w: unknown class ID %d", wire.ErrMalformedFrame, id)
 	}
 	rc.ops.TypeOps++
 	rc.ops.SerializerCalls++
@@ -223,8 +244,13 @@ func readDynamicBody(rc *readCtx) (*model.Object, error) {
 		if rc.m.Err() != nil {
 			return nil, rc.m.Err()
 		}
-		if n < 0 {
-			return nil, fmt.Errorf("serial: negative array length %d", n)
+		// Each element costs at least one marker byte on the wire, so a
+		// declared length beyond the remaining payload is a lie — check
+		// before the make so a 64-byte hostile frame cannot commit a
+		// multi-MB element slice.
+		if n < 0 || n > rc.m.Remaining() {
+			return nil, fmt.Errorf("%w: ref-array length %d with %d payload bytes remaining",
+				wire.ErrMalformedFrame, n, rc.m.Remaining())
 		}
 		rc.dynArrayIntrospect(n)
 		o := &model.Object{Class: class, Refs: make([]*model.Object, n)}
@@ -346,8 +372,11 @@ func readPlannedBody(rc *readCtx, np *NodePlan, old *model.Object) (*model.Objec
 		if rc.m.Err() != nil {
 			return nil, rc.m.Err()
 		}
-		if n < 0 {
-			return nil, fmt.Errorf("serial: negative array length %d", n)
+		// Same payload bound as the dynamic path: ≥1 marker byte per
+		// element, so the declared length can never exceed what's left.
+		if n < 0 || n > rc.m.Remaining() {
+			return nil, fmt.Errorf("%w: ref-array length %d with %d payload bytes remaining",
+				wire.ErrMalformedFrame, n, rc.m.Remaining())
 		}
 		rc.ops.InlinedWrites++
 		var o *model.Object

@@ -19,7 +19,9 @@
 package serial
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cormi/internal/model"
 	"cormi/internal/simtime"
@@ -63,6 +65,7 @@ type writeCtx struct {
 	ops   simtime.OpCount
 	table *writeTable // nil when cycle detection is eliminated
 	wt    writeTable  // reusable backing storage for table
+	link  *LinkPlans  // negotiated per-link demotions; nil = all plans agree
 }
 
 var writeCtxPool = sync.Pool{New: func() any { return new(writeCtx) }}
@@ -72,11 +75,12 @@ func getWriteCtx(m *wire.Message, c *stats.Counters) *writeCtx {
 	w.m, w.c = m, c
 	w.ops = simtime.OpCount{}
 	w.table = nil
+	w.link = nil
 	return w
 }
 
 func putWriteCtx(w *writeCtx) {
-	w.m, w.c, w.table = nil, nil, nil
+	w.m, w.c, w.table, w.link = nil, nil, nil, nil
 	if w.wt.m != nil {
 		clear(w.wt.m)
 		w.wt.next = 0
@@ -99,18 +103,61 @@ type readCtx struct {
 	// handles), so the same donor object could otherwise be offered to
 	// two distinct wire objects and collapse the new graph.
 	usedDonors map[*model.Object]bool
+	// budget is the remaining per-frame allocation allowance in bytes
+	// (decodeBudgetBase + decodeBudgetPerByte per payload byte). Every
+	// object the decoder materializes is charged through allocated();
+	// exhaustion poisons the message with a typed ErrMalformedFrame so
+	// a small hostile frame cannot commit large memory. Legitimate
+	// frames sit far under the budget: decoded bytes are proportional
+	// to payload bytes with a small constant.
+	budget int64
+	// depth is the current readRef recursion depth, capped at
+	// MaxDecodeDepth to stop stack-exhaustion nesting bombs.
+	depth int
+}
+
+// Decode budgets. Vars rather than consts so the hardening tests can
+// tighten them; the decode hot path reads them once per frame.
+var (
+	decodeBudgetBase    int64 = 4096 // flat allowance so tiny frames can decode small graphs
+	decodeBudgetPerByte int64 = 64   // allowance per payload byte
+)
+
+// readCtx pool debug gauges, mirroring the wire buffer pool's: a
+// growing Gets-Puts gap means an error path returned without releasing
+// its context (and whatever object graph it pinned).
+var (
+	readCtxGets atomic.Int64
+	readCtxPuts atomic.Int64
+)
+
+// CtxStats is a snapshot of the read-context pool's debug gauges.
+type CtxStats struct {
+	Gets        int64
+	Puts        int64
+	Outstanding int64
+}
+
+// ReadCtxStats reports the read-context pool's get/put balance.
+func ReadCtxStats() CtxStats {
+	g, p := readCtxGets.Load(), readCtxPuts.Load()
+	return CtxStats{Gets: g, Puts: p, Outstanding: g - p}
 }
 
 var readCtxPool = sync.Pool{New: func() any { return new(readCtx) }}
 
 func getReadCtx(m *wire.Message, reg *model.Registry, c *stats.Counters) *readCtx {
+	readCtxGets.Add(1)
 	rc := readCtxPool.Get().(*readCtx)
 	rc.m, rc.reg, rc.c = m, reg, c
 	rc.ops = simtime.OpCount{}
+	rc.budget = decodeBudgetBase + decodeBudgetPerByte*int64(m.Remaining())
+	rc.depth = 0
 	return rc
 }
 
 func putReadCtx(rc *readCtx) {
+	readCtxPuts.Add(1)
 	rc.m, rc.reg, rc.c = nil, nil, nil
 	for i := range rc.handles {
 		rc.handles[i] = nil
@@ -140,6 +187,15 @@ func (rc *readCtx) takeDonor(old *model.Object, class *model.Class) bool {
 }
 
 func (rc *readCtx) register(o *model.Object) {
+	if len(rc.handles) >= MaxHandleEntries {
+		// Can't return an error from here; poison the message so every
+		// further read yields zeros and the top-level decode surfaces
+		// the typed error. The half-built graph is dropped with the
+		// frame.
+		rc.m.Fail(fmt.Errorf("%w: handle table overflow (%d entries, cap %d)",
+			wire.ErrMalformedFrame, len(rc.handles)+1, MaxHandleEntries))
+		return
+	}
 	rc.handles = append(rc.handles, o)
 }
 
@@ -150,10 +206,17 @@ func (rc *readCtx) resolve(h int32) *model.Object {
 	return rc.handles[h]
 }
 
-// allocated records a deserialization allocation.
+// allocated records a deserialization allocation and charges it
+// against the frame's allocation budget; exhaustion poisons the
+// message with a typed error (see readCtx.budget).
 func (rc *readCtx) allocated(o *model.Object) {
+	sz := o.SizeBytes()
+	rc.budget -= sz
+	if rc.budget < 0 {
+		rc.m.Fail(fmt.Errorf("%w: frame exceeded its decode allocation budget", wire.ErrMalformedFrame))
+	}
 	rc.c.AllocObjects.Add(1)
-	rc.c.AllocBytes.Add(o.SizeBytes())
+	rc.c.AllocBytes.Add(sz)
 	rc.ops.Allocs++
 }
 

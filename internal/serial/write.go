@@ -21,6 +21,12 @@ type Config struct {
 	Mode      Mode
 	CycleElim bool // honor Plan.NeedCycle instead of always creating tables
 	Reuse     bool // honor Plan.Reusable (caller supplies the cache)
+	// Link carries the per-link plan table negotiated from the HELLO
+	// fingerprint exchange: classes whose compiled plans disagree with
+	// the peer's are written through the self-describing class-level
+	// encoding instead of the planned fast path. nil — the homogeneous
+	// cluster default — costs writers a single nil check per reference.
+	Link *LinkPlans
 }
 
 // needTable decides whether this message requires a cycle table.
@@ -51,6 +57,7 @@ func WriteValues(m *wire.Message, vals []model.Value, plans []*Plan, cfg Config,
 		return simtime.OpCount{}, fmt.Errorf("serial: site mode with %d plans for %d values", len(plans), len(vals))
 	}
 	w := getWriteCtx(m, c)
+	w.link = cfg.Link
 	err := writeBody(w, vals, plans, cfg)
 	ops := w.ops
 	putWriteCtx(w)
@@ -124,13 +131,23 @@ func writeRef(w *writeCtx, o *model.Object, np *NodePlan) {
 		}
 	}
 	if np != nil && o.Class == np.Class {
-		w.m.AppendByte(refNew)
-		w.c.InlinedWrites.Add(1)
-		writePlannedBody(w, o, np)
-		return
+		if w.link == nil || !w.link.Demoted(o.Class) {
+			w.m.AppendByte(refNew)
+			w.c.InlinedWrites.Add(1)
+			writePlannedBody(w, o, np)
+			return
+		}
+		// Negotiated fallback: the peer compiled a different plan for
+		// this class (fingerprint mismatch at HELLO), so the planned
+		// form would mis-decode there. Demote this object to the
+		// self-describing encoding below — the reader's marker dispatch
+		// handles refNewDynamic under any plan.
+		w.link.fallbacks.Add(1)
+		w.c.PlanFallbacks.Add(1)
 	}
-	// Dynamic path: class mode, polymorphic fallback, or a plan miss
-	// (the object's runtime class differs from the static prediction).
+	// Dynamic path: class mode, polymorphic fallback, negotiated
+	// demotion, or a plan miss (the object's runtime class differs from
+	// the static prediction).
 	w.m.AppendByte(refNewDynamic)
 	w.m.AppendInt32(o.Class.ID)
 	w.c.TypeBytes.Add(4)

@@ -56,6 +56,10 @@ type Counters struct {
 	// Claim-checker counters (audit mode, rmi.ClaimCheckPolicy).
 	ClaimChecks     atomic.Int64 // sampled calls whose compile-time claims were re-verified
 	ClaimViolations atomic.Int64 // claims found violated at runtime
+
+	// Wire-robustness counters (versioned protocol).
+	MalformedFrames atomic.Int64 // CRC-valid frames rejected by the hardened decoder
+	PlanFallbacks   atomic.Int64 // objects demoted to class-level encoding by link negotiation
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -70,6 +74,7 @@ type Snapshot struct {
 	Retries, Timeouts, DupSuppressed              int64
 	CorruptDropped, StaleReplies                  int64
 	ClaimChecks, ClaimViolations                  int64
+	MalformedFrames, PlanFallbacks                int64
 }
 
 // Snapshot copies the current counter values.
@@ -98,6 +103,8 @@ func (c *Counters) Snapshot() Snapshot {
 		StaleReplies:    c.StaleReplies.Load(),
 		ClaimChecks:     c.ClaimChecks.Load(),
 		ClaimViolations: c.ClaimViolations.Load(),
+		MalformedFrames: c.MalformedFrames.Load(),
+		PlanFallbacks:   c.PlanFallbacks.Load(),
 	}
 }
 
@@ -126,6 +133,8 @@ func (c *Counters) Reset() {
 	c.StaleReplies.Store(0)
 	c.ClaimChecks.Store(0)
 	c.ClaimViolations.Store(0)
+	c.MalformedFrames.Store(0)
+	c.PlanFallbacks.Store(0)
 }
 
 // Sub returns s - t field-wise (statistics accumulated between two
@@ -155,6 +164,8 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		StaleReplies:    s.StaleReplies - t.StaleReplies,
 		ClaimChecks:     s.ClaimChecks - t.ClaimChecks,
 		ClaimViolations: s.ClaimViolations - t.ClaimViolations,
+		MalformedFrames: s.MalformedFrames - t.MalformedFrames,
+		PlanFallbacks:   s.PlanFallbacks - t.PlanFallbacks,
 	}
 }
 
@@ -165,10 +176,12 @@ func (s Snapshot) NewMBytes() float64 { return float64(s.AllocBytes) / (1 << 20)
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"rpcs(local=%d remote=%d) msgs=%d wire=%dB type=%dB serCalls=%d inlined=%d cycleTables=%d cycleLookups=%d alloc(%d objs, %.2f MB) reused=%d "+
-			"faults(retries=%d timeouts=%d dupSuppressed=%d corruptDropped=%d staleReplies=%d) claims(checks=%d violations=%d)",
+			"faults(retries=%d timeouts=%d dupSuppressed=%d corruptDropped=%d staleReplies=%d) claims(checks=%d violations=%d) "+
+			"wire(malformed=%d planFallbacks=%d)",
 		s.LocalRPCs, s.RemoteRPCs, s.Messages, s.WireBytes, s.TypeBytes,
 		s.SerializerCalls, s.InlinedWrites, s.CycleTables, s.CycleLookups,
 		s.AllocObjects, s.NewMBytes(), s.ReusedObjs,
 		s.Retries, s.Timeouts, s.DupSuppressed, s.CorruptDropped, s.StaleReplies,
-		s.ClaimChecks, s.ClaimViolations)
+		s.ClaimChecks, s.ClaimViolations,
+		s.MalformedFrames, s.PlanFallbacks)
 }

@@ -127,6 +127,19 @@ func (e *tcpEndpoint) acceptLoop(l net.Listener) {
 const tcpMetaSize = 20
 
 func (e *tcpEndpoint) readLoop(c net.Conn) {
+	// Every connection opens with the wire preamble (magic + protocol
+	// version, written by the dialer below): a peer speaking another
+	// protocol or version is rejected from its first six bytes instead
+	// of having its stream misparsed as frames.
+	var pre [wire.PreambleSize]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		c.Close()
+		return
+	}
+	if err := wire.CheckPreamble(pre[:]); err != nil {
+		c.Close()
+		return
+	}
 	// The 24-byte header (length + metadata) lands in a stack buffer;
 	// only the payload is read into a pooled buffer, so recycling loses
 	// no capacity to header prefixes.
@@ -185,6 +198,15 @@ func (e *tcpEndpoint) Send(p Packet) error {
 		var err error
 		c, err = net.Dial("tcp", e.net.addrs[p.To])
 		if err != nil {
+			return err
+		}
+		// Stamp the fresh connection with the version preamble before
+		// any frame. If we lose the caching race the duplicate dial is
+		// closed; its receiver-side readLoop sees a valid preamble
+		// followed by EOF, which is a clean no-traffic connection.
+		pre := wire.Preamble()
+		if _, err := c.Write(pre[:]); err != nil {
+			c.Close()
 			return err
 		}
 		e.mu.Lock()

@@ -20,6 +20,18 @@ const ChecksumSize = 4
 // the frame was corrupted in flight and must be discarded.
 var ErrChecksum = errors.New("wire: payload checksum mismatch")
 
+// ErrMalformedFrame is reported when a frame passes its checksum but
+// the content violates the protocol: declared lengths exceeding the
+// actual payload, implausible table or entry counts, unknown class
+// IDs, nesting bombs, or decode work past the per-frame allocation
+// budget. A checksum failure (ErrChecksum) means the interconnect
+// corrupted honest bytes and a retransmit will recover; a malformed
+// frame means the SENDER put hostile or version-skewed bytes on the
+// wire, so retransmits are pointless and callers must be able to tell
+// the two apart (errors.Is). Every decode-layer rejection wraps this
+// sentinel.
+var ErrMalformedFrame = errors.New("wire: malformed frame")
+
 // crcTable is the Castagnoli polynomial, hardware-accelerated on
 // current CPUs.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

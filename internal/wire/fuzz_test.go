@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeHello drives the handshake decoder with arbitrary bytes.
+// The properties under test are the hardening contract: no panic on any
+// input, every rejection is a typed ErrMalformedFrame, and every
+// accepted HELLO re-encodes to bytes that decode to the same value
+// (the decoder accepts nothing the encoder cannot produce).
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(EncodeHello(&Hello{Version: ProtocolVersion, PlanVersion: 1, Node: 0}))
+	f.Add(EncodeHello(&Hello{
+		Version: ProtocolVersion, PlanVersion: 2, Node: 1,
+		Entries: []HelloEntry{{Name: "Node", FP: 0x1234}, {Name: "double[]", FP: 0x5678}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x4D, 0x48, 0x31})
+	corrupted := EncodeHello(&Hello{Version: 1, Entries: []HelloEntry{{Name: "x", FP: 9}}})
+	corrupted[len(corrupted)-3] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("rejection %v is not ErrMalformedFrame", err)
+			}
+			return
+		}
+		re, err := DecodeHello(EncodeHello(h))
+		if err != nil {
+			t.Fatalf("accepted hello does not re-decode: %v", err)
+		}
+		if re.Version != h.Version || re.PlanVersion != h.PlanVersion ||
+			re.Node != h.Node || len(re.Entries) != len(h.Entries) {
+			t.Fatalf("re-decode mismatch: %+v != %+v", re, h)
+		}
+	})
+}

@@ -10,14 +10,16 @@ package wire
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 )
 
 // ErrShortMessage is reported when a read runs past the end of the
-// message payload.
-var ErrShortMessage = errors.New("wire: read past end of message")
+// message payload: a declared length or field sequence promised more
+// bytes than the frame actually carries. That is by definition a
+// protocol violation by the sender, so it wraps ErrMalformedFrame —
+// errors.Is(err, ErrMalformedFrame) matches every short read.
+var ErrShortMessage = fmt.Errorf("%w: read past end of message", ErrMalformedFrame)
 
 // Message is a growable byte buffer written by marshalers and read by
 // unmarshalers. The zero value is an empty message ready for appending.
@@ -48,6 +50,19 @@ func (m *Message) Remaining() int { return len(m.buf) - m.pos }
 
 // Err returns the sticky read error, if any read ran short.
 func (m *Message) Err() error { return m.err }
+
+// Fail poisons the message with err (first failure wins, like a short
+// read). Decoders use it to reject a frame from code that cannot
+// return an error directly — e.g. the allocation-budget and
+// handle-table caps deep in the deserializer: after Fail every further
+// read returns zero values, so declared lengths collapse to zero and
+// no more memory is committed, and the top-level decode loop surfaces
+// err through Err.
+func (m *Message) Fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
 
 // Reset clears the message for reuse.
 func (m *Message) Reset() {
