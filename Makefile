@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision fuzz
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async fuzz
 
 verify:
 	go vet ./...
@@ -12,6 +12,7 @@ verify:
 	$(MAKE) obs-smoke
 	$(MAKE) explain-smoke
 	$(MAKE) verify-precision
+	$(MAKE) verify-async
 	$(MAKE) fuzz
 
 test:
@@ -40,6 +41,14 @@ explain-smoke:
 # update (UPDATE_GOLDEN=1 go test ./internal/harness -run TestVerdictMatrix).
 verify-precision:
 	go test -count=1 -run 'TestVerdictMatrix|TestPrecisionGain|TestContextBudgetBoundsBlowup' ./internal/harness
+
+# Async chaos gate: the chained futures + promise-pipelining workload
+# must complete with exactly-once execution at every optimization
+# level over a lossy (drop/dup/reorder/corrupt) interconnect, under
+# the race detector. Proves a dropped producer frame is recovered by
+# its waiter and a duplicated one cannot double-splice a promise.
+verify-async:
+	go test -race -count=1 -run 'TestChaosAsync' ./internal/harness
 
 # Short native-fuzzing pass over the two adversarial decode surfaces:
 # the HELLO handshake decoder and the value/reference payload decoder.

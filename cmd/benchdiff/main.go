@@ -79,6 +79,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The chain section asserts protocol invariants (pipelined latency
+	// at most half of sync, batched frames/op below one) in virtual
+	// time, so it gates alongside the toleranced perf rows.
+	if regs := harness.CompareChain(base, cur); len(regs) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d chain invariant failure(s) vs %s:\n", len(regs), fs.Arg(0))
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	}
+
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), fs.Arg(0))
 		for _, r := range regs {

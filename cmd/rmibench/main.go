@@ -13,6 +13,9 @@
 //	                       # skewed plan fingerprints; verify HELLO
 //	                       # negotiation demotes to the class-level
 //	                       # encoding with fully correct results
+//	rmibench -chain 8      # chained-dependency workload: sync vs
+//	                       # async vs pipelined vs batched, with
+//	                       # virtual chain latency and frames/op
 //	rmibench -json > BENCH_rmibench.json           # machine-readable
 //	                       # perf report (ns/op, B/op, allocs/op per
 //	                       # workload × optimization level) consumed by
@@ -49,11 +52,17 @@ func main() {
 	skew := flag.Bool("skew", false, "mixed-version mode: run the workloads with one node's plan fingerprints skewed and verify negotiated fallback")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable perf report (for benchdiff) and exit")
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file and print per-phase latency quantiles")
+	chain := flag.Int("chain", 0, "chained-dependency workload at this depth (sync/async/pipelined/batched); with -json, overrides the report's chain depth")
+	chains := flag.Int("chains", 100, "number of chains per mode for -chain")
 	flag.Parse()
 
 	if *jsonOut {
 		spec := harness.DefaultBenchSpec()
 		spec.TracePhases = *traceOut != ""
+		if *chain > 0 {
+			spec.ChainDepth = *chain
+			spec.ChainCount = *chains
+		}
 		report, err := harness.RunBench(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rmibench: bench run failed: %v\n", err)
@@ -70,6 +79,16 @@ func main() {
 			// file still wants the raw spans of a traced pass.
 			writeTraceFile(*traceOut)
 		}
+		return
+	}
+
+	if *chain > 0 {
+		rows, err := harness.RunChain(*chain, *chains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: chain run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatChain(rows))
 		return
 	}
 

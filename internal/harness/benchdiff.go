@@ -66,6 +66,40 @@ func CompareBench(base, cur *BenchReport, opts DiffOpts) []string {
 	return regressions
 }
 
+// CompareChain gates the chained-dependency section: the pipelined
+// chain must stay at or below half the sync chain's virtual latency,
+// and the batched mode must keep physical frames per op below one.
+// These are protocol properties measured in deterministic virtual
+// time, so they are asserted as invariants rather than toleranced
+// against the baseline. Either report missing the section (old
+// baselines) compares empty.
+func CompareChain(base, cur *BenchReport) []string {
+	if len(base.Chain) == 0 || len(cur.Chain) == 0 {
+		return nil
+	}
+	byMode := map[string]*ChainRow{}
+	for i := range cur.Chain {
+		byMode[cur.Chain[i].Mode] = &cur.Chain[i]
+	}
+	var lines []string
+	sync, okS := byMode[string(ChainSync)]
+	piped, okP := byMode[string(ChainPipelined)]
+	batched, okB := byMode[string(ChainBatched)]
+	if !okS || !okP || !okB {
+		return []string{"chain: section present but missing sync/pipelined/batched modes"}
+	}
+	if piped.ChainLatencyNS*2 > sync.ChainLatencyNS {
+		lines = append(lines, fmt.Sprintf(
+			"chain: pipelined latency %dns exceeds half of sync %dns",
+			piped.ChainLatencyNS, sync.ChainLatencyNS))
+	}
+	if batched.FramesPerOp >= 1 {
+		lines = append(lines, fmt.Sprintf(
+			"chain: batched frames/op %.3f not below 1", batched.FramesPerOp))
+	}
+	return lines
+}
+
 // DecisionCounts are the verdict totals of one optimizer decision
 // report: live call sites, elided cycle checks (argument and return
 // directions both count), and buffer-reuse grants (arguments and

@@ -58,6 +58,11 @@ type BenchReport struct {
 	// Like Decisions it is a new optional section: benchdiff compares
 	// rows only, so baselines from before the section stay comparable.
 	Negotiation *NegotiationReport `json:"negotiation,omitempty"`
+	// Chain holds the chained-dependency workload (chain.go): virtual
+	// chain latency and physical frames per op for the sync, async,
+	// pipelined and batched modes. Optional section: benchdiff gates on
+	// it only when both reports carry it.
+	Chain []ChainRow `json:"chain,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -145,11 +150,15 @@ type BenchSpec struct {
 	// TracePhases adds a traced micro pass after the untraced perf
 	// rows and folds its per-phase latency quantiles into the report.
 	TracePhases bool
+	// ChainDepth/ChainCount size the chained-dependency workload
+	// (chain.go); ChainDepth <= 0 skips the section.
+	ChainDepth int
+	ChainCount int
 }
 
 // DefaultBenchSpec keeps the full matrix under a few seconds.
 func DefaultBenchSpec() BenchSpec {
-	return BenchSpec{MicroIters: 2000, WebRequests: 1500, SuperoptN: 3, Repeats: 5}
+	return BenchSpec{MicroIters: 2000, WebRequests: 1500, SuperoptN: 3, Repeats: 5, ChainDepth: 8, ChainCount: 100}
 }
 
 // RunBench measures the perf-critical workloads at every optimization
@@ -228,6 +237,17 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		return nil, err
 	}
 	report.Negotiation = neg
+	if spec.ChainDepth > 0 {
+		chains := spec.ChainCount
+		if chains < 1 {
+			chains = 100
+		}
+		rows, err := RunChain(spec.ChainDepth, chains)
+		if err != nil {
+			return nil, err
+		}
+		report.Chain = rows
+	}
 	return report, nil
 }
 

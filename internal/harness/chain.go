@@ -1,0 +1,189 @@
+package harness
+
+// Chained-dependency workload for the asynchronous RMI layer: a depth-N
+// chain of calls where each call's argument is the previous call's
+// result. Synchronously the chain costs N round trips; with promise
+// pipelining the caller ships every call immediately (arguments named
+// by promise handle) and the whole chain costs one round trip. The
+// workload measures both the virtual-time chain latency — the
+// deterministic causal critical path, robust to scheduler noise — and
+// the physical frames per operation, which the per-link batcher drives
+// below one for small coalesced calls.
+
+import (
+	"fmt"
+
+	"cormi/internal/model"
+	"cormi/internal/rmi"
+	"cormi/internal/serial"
+	"cormi/internal/wire"
+)
+
+// ChainMode names one way of driving the dependent chain.
+type ChainMode string
+
+const (
+	// ChainSync invokes each link synchronously: N round trips.
+	ChainSync ChainMode = "sync"
+	// ChainAsync uses futures with promise arguments over a link whose
+	// peer did NOT negotiate pipelining: the runtime demotes to
+	// resolve-then-send, so it behaves like sync and counts a
+	// PipelineFallback per dependent call. This is the capability-
+	// demotion control group.
+	ChainAsync ChainMode = "async"
+	// ChainPipelined uses futures with promise arguments over a fully
+	// capable link: one round trip for the whole chain.
+	ChainPipelined ChainMode = "pipelined"
+	// ChainBatched is ChainPipelined plus the per-link frame batcher:
+	// same virtual latency, fewer physical frames.
+	ChainBatched ChainMode = "batched"
+)
+
+// AllChainModes lists the modes in report order.
+var AllChainModes = []ChainMode{ChainSync, ChainAsync, ChainPipelined, ChainBatched}
+
+// ChainRow is one measured mode of the chained workload.
+type ChainRow struct {
+	Mode   string `json:"mode"`
+	Depth  int    `json:"depth"`
+	Chains int    `json:"chains"`
+	// ChainLatencyNS is the virtual-time cost of one depth-N chain:
+	// deterministic, so ratios between modes are exact properties of
+	// the protocol, not of the host machine.
+	ChainLatencyNS int64 `json:"chain_latency_ns"`
+	// FramesPerOp is physical network frames per call (calls + replies,
+	// after batching). Unbatched request/response traffic sits at 2.0.
+	FramesPerOp float64 `json:"frames_per_op"`
+	// Fallbacks counts pipelined sends demoted to resolve-then-send
+	// (nonzero only in async mode, where the capability is masked).
+	Fallbacks int64 `json:"fallbacks,omitempty"`
+}
+
+// RunChainMode measures one mode of the depth-deep dependent chain,
+// repeated chains times.
+func RunChainMode(mode ChainMode, depth, chains int) (ChainRow, error) {
+	if depth < 1 || chains < 1 {
+		return ChainRow{}, fmt.Errorf("harness: chain needs depth and chains >= 1 (got %d, %d)", depth, chains)
+	}
+	var opts []rmi.Option
+	switch mode {
+	case ChainSync:
+	case ChainAsync:
+		// Mask the capability on the callee so the link negotiates
+		// pipelining away and the async layer takes its fallback.
+		opts = append(opts, rmi.WithoutCaps(1, wire.CapPipelining))
+	case ChainPipelined:
+	case ChainBatched:
+		opts = append(opts, rmi.WithBatching(rmi.BatchConfig{}))
+	default:
+		return ChainRow{}, fmt.Errorf("harness: unknown chain mode %q", mode)
+	}
+	c := rmi.New(2, opts...)
+	defer c.Close()
+
+	const site = "Chain.step.1"
+	cs, err := c.NewCallSite(rmi.LevelSite, rmi.SiteSpec{
+		Name:     site,
+		Method:   "step",
+		ArgPlans: []*serial.Plan{serial.PrimitivePlan(site, model.FInt)},
+		RetPlans: []*serial.Plan{serial.PrimitivePlan(site, model.FInt)},
+		NumRet:   1,
+	})
+	if err != nil {
+		return ChainRow{}, err
+	}
+	// step(x) = x + 1 with a fixed compute cost, so the virtual timeline
+	// has an execution component as well as the flight legs.
+	ref := c.Node(1).Export(&rmi.Service{
+		Name: "Chain",
+		Methods: map[string]rmi.Method{
+			"step": func(call *rmi.Call, args []model.Value) []model.Value {
+				call.Compute(500)
+				return []model.Value{model.Int(args[0].I + 1)}
+			},
+		},
+	})
+	caller := c.Node(0)
+
+	framesBefore := c.Counters.NetFrames.Load()
+	virtBefore := c.MaxTime()
+	for it := 0; it < chains; it++ {
+		want := int64(it + depth)
+		switch mode {
+		case ChainSync:
+			x := model.Int(int64(it))
+			for d := 0; d < depth; d++ {
+				vals, err := cs.Invoke(caller, ref, []model.Value{x})
+				if err != nil {
+					return ChainRow{}, fmt.Errorf("harness: chain sync: %w", err)
+				}
+				x = vals[0]
+			}
+			if x.I != want {
+				return ChainRow{}, fmt.Errorf("harness: chain sync: got %d, want %d", x.I, want)
+			}
+		default:
+			// One promised future per link; each subsequent call names
+			// the previous future as its argument. In async mode the
+			// runtime demotes every dependent send to resolve-then-send;
+			// the program text is identical.
+			futs := make([]*rmi.Future, depth)
+			futs[0] = cs.InvokeAsync(caller, ref, []model.Value{model.Int(int64(it))}, rmi.AsyncOpts{Promised: true})
+			for d := 1; d < depth; d++ {
+				futs[d] = cs.InvokeAsync(caller, ref, []model.Value{{}}, rmi.AsyncOpts{
+					Promised: d < depth-1,
+					Promises: []rmi.PromiseArg{{Arg: 0, Fut: futs[d-1]}},
+				})
+			}
+			vals, err := futs[depth-1].Wait()
+			if err != nil {
+				return ChainRow{}, fmt.Errorf("harness: chain %s: %w", mode, err)
+			}
+			if vals[0].I != want {
+				return ChainRow{}, fmt.Errorf("harness: chain %s: got %d, want %d", mode, vals[0].I, want)
+			}
+			for _, f := range futs {
+				f.Release()
+			}
+		}
+	}
+	c.FlushBatches()
+	row := ChainRow{
+		Mode:           string(mode),
+		Depth:          depth,
+		Chains:         chains,
+		ChainLatencyNS: (c.MaxTime() - virtBefore) / int64(chains),
+		FramesPerOp: float64(c.Counters.NetFrames.Load()-framesBefore) /
+			float64(chains*depth),
+		Fallbacks: c.Counters.PipelineFallbacks.Load(),
+	}
+	return row, nil
+}
+
+// RunChain measures every chain mode at the given depth.
+func RunChain(depth, chains int) ([]ChainRow, error) {
+	rows := make([]ChainRow, 0, len(AllChainModes))
+	for _, mode := range AllChainModes {
+		row, err := RunChainMode(mode, depth, chains)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatChain renders chain rows as an aligned summary table.
+func FormatChain(rows []ChainRow) string {
+	if len(rows) == 0 {
+		return "no chain rows\n"
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-10s %6s %7s %18s %13s %10s\n",
+		"mode", "depth", "chains", "chain_latency_ns", "frames_per_op", "fallbacks")
+	for _, r := range rows {
+		b = fmt.Appendf(b, "%-10s %6d %7d %18d %13.3f %10d\n",
+			r.Mode, r.Depth, r.Chains, r.ChainLatencyNS, r.FramesPerOp, r.Fallbacks)
+	}
+	return string(b)
+}

@@ -276,6 +276,12 @@ func registerLinkVecs(reg *metrics.Registry, links func() []stats.LinkStat) {
 		collect(func(l stats.LinkStat) float64 { return float64(l.DemotedClasses) }))
 	reg.RegisterCounterVec("cormi_link_plan_fallbacks", "objects written through the demoted encoding on the link",
 		collect(func(l stats.LinkStat) float64 { return float64(l.Fallbacks) }))
+	reg.RegisterCounterVec("cormi_link_caps", "capability bits negotiated by the link's HELLO exchange",
+		collect(func(l stats.LinkStat) float64 { return float64(l.Caps) }))
+	reg.RegisterCounterVec("cormi_link_batched_frames", "logical frames coalesced into batch containers on the link",
+		collect(func(l stats.LinkStat) float64 { return float64(l.BatchedFrames) }))
+	reg.RegisterCounterVec("cormi_link_batch_flushes", "batch containers the link put on the wire",
+		collect(func(l stats.LinkStat) float64 { return float64(l.BatchFlushes) }))
 }
 
 // registerSiteVecs exposes the per-call-site counters as labeled

@@ -231,6 +231,9 @@ func refPlansReusable(plans []*serial.Plan) bool {
 const (
 	msgCall  = 0
 	msgReply = 1
+	// msgBatch is a coalesced container of sealed call/reply sub-frames
+	// (see batch.go and wire.AppendBatchEntry).
+	msgBatch = 2
 )
 
 // Call header flags (byte following the msgCall tag).
@@ -244,6 +247,22 @@ const (
 	// reply packets carry wall-clock timestamps so each transit leg is
 	// measured end to end.
 	callFlagTraced = 1 << 1
+	// callFlagOneWay marks a fire-and-forget call: the callee executes
+	// it but sends no reply of any kind (errors are recorded callee-side
+	// in OneWayErrors and the flight recorder). Sent only on links that
+	// negotiated wire.CapOneWay.
+	callFlagOneWay = 1 << 2
+	// callFlagPromised marks a call whose result the caller may
+	// reference from a later pipelined call: the callee publishes the
+	// outcome in its promise table (keyed by this call's (from, seq))
+	// in addition to replying normally.
+	callFlagPromised = 1 << 3
+	// callFlagPipelined marks a call carrying a promise section: some
+	// argument positions are named by the (from, seq) of an earlier
+	// promised call instead of being serialized, and the callee splices
+	// them from its promise table. Sent only on links that negotiated
+	// wire.CapPipelining.
+	callFlagPipelined = 1 << 4
 )
 
 // Reply flags.
@@ -393,7 +412,63 @@ func (cs *CallSite) cloneThroughSerializer(n *Node, vals []model.Value, plans []
 	return out, roots, nil
 }
 
+// invokeRemote is the synchronous remote path: issue the call, then
+// block for its reply. The pendingCall lives on this goroutine's stack
+// — the asynchronous path (async.go) runs the same startRemote/await
+// pair with the pendingCall embedded in a pooled Future instead.
 func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallPolicy) ([]model.Value, error) {
+	var pc pendingCall
+	if err := cs.startRemote(&pc, n, ref, args, pol, callExtras{}); err != nil {
+		return nil, err
+	}
+	return pc.await()
+}
+
+// callExtras carries the asynchronous-call variations through
+// startRemote; the zero value is a plain synchronous call.
+type callExtras struct {
+	// oneWay suppresses the reply entirely (fire and forget).
+	oneWay bool
+	// promised asks the callee to publish this call's outcome in its
+	// promise table for later pipelined calls to reference.
+	promised bool
+	// handles names argument positions to splice from the callee's
+	// promise table instead of serializing (promise pipelining).
+	handles []serial.PromiseHandle
+}
+
+// pendingCall is one issued remote invocation between its send and the
+// consumption of its reply. The synchronous path keeps it on the
+// stack; Future embeds it by value. Everything await needs lives here,
+// so issuing and waiting can happen on different goroutines.
+type pendingCall struct {
+	cs       *CallSite
+	n        *Node
+	ref      Ref
+	pol      CallPolicy
+	seq      int64
+	ch       chan reply
+	master   []byte // sealed frame copy for retransmits (nil when single-attempt)
+	wireLen  int64
+	sp       *trace.Span
+	audit    bool
+	oneWay   bool
+	attempts int
+	attempt  int
+	// issued is the wall-clock time InvokeAsync returned the future
+	// (zero on the synchronous path); await reports the blocked portion
+	// of the round trip as PhaseFutureWait from it.
+	issued int64
+}
+
+func (pc *pendingCall) siteStats() *stats.SiteCounters { return &pc.cs.statShards[pc.n.ID] }
+
+// startRemote marshals, seals and sends the call's first attempt and
+// registers the pending reply slot. On return (nil error) the call is
+// on the wire; pc.await collects the outcome. ex selects the
+// asynchronous variations; the caller is responsible for only setting
+// promised/pipelined extras on links that negotiated the capability.
+func (cs *CallSite) startRemote(pc *pendingCall, n *Node, ref Ref, args []model.Value, pol CallPolicy, ex callExtras) error {
 	c := n.cluster
 	c.Counters.RemoteRPCs.Add(1)
 	st := &cs.statShards[n.ID]
@@ -405,6 +480,12 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	}
 
 	attempts := pol.attempts()
+	if ex.oneWay {
+		// No reply ever arms a retry timer, so a one-way call is sent
+		// exactly once; on a lossy network it is at-most-once by
+		// construction (see policy.go).
+		attempts = 1
+	}
 	seq := n.seq.Add(1)
 	// With tracing off this is the observability layer's entire cost on
 	// the caller: StartCaller on a nil tracer returns a nil span whose
@@ -420,6 +501,15 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	if sp != nil {
 		flags |= callFlagTraced
 	}
+	if ex.oneWay {
+		flags |= callFlagOneWay
+	}
+	if ex.promised {
+		flags |= callFlagPromised
+	}
+	if len(ex.handles) > 0 {
+		flags |= callFlagPipelined
+	}
 	m.AppendByte(flags)
 	m.AppendInt32(cs.ID)
 	m.AppendInt64(ref.Obj)
@@ -431,12 +521,19 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	if l := n.linkTo(ref.Node); l != nil {
 		lp = l.lp
 	}
-	ops, err := cs.writeChecked(c, st, m, args, cs.argPlans, audit, lp)
+	wargs, wplans := args, cs.argPlans
+	if len(ex.handles) > 0 {
+		// The promise section rides between the argument count and the
+		// argument bytes; promised positions are named, not serialized.
+		serial.WritePromises(m, ex.handles)
+		wargs, wplans = pipelineSubset(args, cs.argPlans, ex.handles)
+	}
+	ops, err := cs.writeChecked(c, st, m, wargs, wplans, audit, lp)
 	if err != nil {
 		m.Release()
 		sp.Fail("marshal: " + err.Error())
 		sp.End()
-		return nil, err
+		return err
 	}
 	if cs.argTablesElided != 0 {
 		st.CycleTablesAvoided.Add(cs.argTablesElided)
@@ -458,43 +555,119 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	frame := m.Detach()
 	sp.EndPhase(trace.PhaseSerialize)
 
-	ch := n.getReplyCh()
-	n.pendMu.Lock()
-	n.pending[seq] = ch
-	n.pendMu.Unlock()
+	pc.cs, pc.n, pc.ref, pc.pol = cs, n, ref, pol
+	pc.seq, pc.master, pc.wireLen = seq, master, wireLen
+	pc.sp, pc.audit, pc.oneWay = sp, audit, ex.oneWay
+	pc.attempts, pc.attempt = attempts, 1
+	pc.issued = 0
+
+	if !ex.oneWay {
+		pc.ch = n.getReplyCh()
+		n.pendMu.Lock()
+		n.pending[seq] = pc.ch
+		n.pendMu.Unlock()
+	}
+	if err := pc.sendAttempt(frame); err != nil {
+		if pc.ch != nil {
+			n.abandonCall(seq, pc.ch)
+			pc.ch = nil
+		}
+		sp.Fail("send: " + err.Error())
+		sp.End()
+		return fmt.Errorf("rmi: send: %w", err)
+	}
+	if ex.oneWay {
+		// Fire and forget: the span closes at wire handoff; there is no
+		// reply leg to measure.
+		sp.End()
+		return nil
+	}
+	// The wait phase spans the whole round trip as the caller
+	// experiences it, retransmits and backoff included.
+	sp.BeginPhase(trace.PhaseWaitReply)
+	return nil
+}
+
+// sendAttempt puts one sealed attempt on the wire, consuming frame.
+func (pc *pendingCall) sendAttempt(frame []byte) error {
+	n := pc.n
+	c := n.cluster
+	c.Counters.Messages.Add(1)
+	c.Counters.WireBytes.Add(pc.wireLen)
+	pc.siteStats().WireBytes.Add(pc.wireLen)
+	pkt := transport.Packet{To: pc.ref.Node, TS: n.Clock.Now(), Payload: frame}
+	if pc.sp != nil {
+		pkt.Wall = trace.Now()
+	}
+	pc.sp.BeginPhase(trace.PhaseSend)
+	err := n.send(pkt)
+	pc.sp.EndPhase(trace.PhaseSend)
+	return err
+}
+
+// pipelineSubset filters out the promised argument positions, leaving
+// the values (and, in site mode, their matching plans) that actually
+// serialize. handles are validated by the async layer: in-range,
+// strictly covered by args, no duplicates.
+func pipelineSubset(args []model.Value, plans []*serial.Plan, handles []serial.PromiseHandle) ([]model.Value, []*serial.Plan) {
+	var mask uint64
+	var over map[int]bool
+	for _, h := range handles {
+		if h.Arg < 64 {
+			mask |= 1 << uint(h.Arg)
+		} else {
+			if over == nil {
+				over = make(map[int]bool)
+			}
+			over[int(h.Arg)] = true
+		}
+	}
+	promisedAt := func(i int) bool {
+		if i < 64 {
+			return mask&(1<<uint(i)) != 0
+		}
+		return over[i]
+	}
+	outArgs := make([]model.Value, 0, len(args)-len(handles))
+	var outPlans []*serial.Plan
+	if plans != nil {
+		outPlans = make([]*serial.Plan, 0, len(plans)-len(handles))
+	}
+	for i, v := range args {
+		if promisedAt(i) {
+			continue
+		}
+		outArgs = append(outArgs, v)
+		if plans != nil && i < len(plans) {
+			outPlans = append(outPlans, plans[i])
+		}
+	}
+	return outArgs, outPlans
+}
+
+// await blocks for the call's reply, driving retransmits and deadline
+// enforcement, then decodes the outcome. It may run on a different
+// goroutine than startRemote (Future.Wait); everything it touches
+// lives in pc.
+func (pc *pendingCall) await() ([]model.Value, error) {
+	cs, n, pol, sp, ch := pc.cs, pc.n, pc.pol, pc.sp, pc.ch
+	c := n.cluster
+	st := pc.siteStats()
+	var waitStart int64
+	if pc.issued != 0 && sp != nil {
+		waitStart = trace.Now()
+	}
 
 	var rep reply
-	for attempt := 1; ; attempt++ {
-		c.Counters.Messages.Add(1)
-		c.Counters.WireBytes.Add(wireLen)
-		st.WireBytes.Add(wireLen)
-		pkt := transport.Packet{To: ref.Node, TS: n.Clock.Now(), Payload: frame}
-		if sp != nil {
-			pkt.Wall = trace.Now()
-		}
-		sp.BeginPhase(trace.PhaseSend)
-		err := n.ep.Send(pkt)
-		frame = nil // ownership passed to the transport, success or error
-		sp.EndPhase(trace.PhaseSend)
-		if err != nil {
-			n.abandonCall(seq, ch)
-			sp.Fail("send: " + err.Error())
-			sp.End()
-			return nil, fmt.Errorf("rmi: send: %w", err)
-		}
-		if attempt == 1 {
-			// The wait phase spans the whole round trip as the caller
-			// experiences it, retransmits and backoff included.
-			sp.BeginPhase(trace.PhaseWaitReply)
-		}
-
+	for {
 		if pol.Timeout <= 0 {
 			// No deadline: wait for the reply or cluster shutdown —
 			// never block unconditionally.
 			select {
 			case rep = <-ch:
 			case <-c.done:
-				n.abandonCall(seq, ch)
+				n.abandonCall(pc.seq, ch)
+				pc.ch = nil
 				sp.Fail("cluster closed")
 				sp.End()
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
@@ -506,17 +679,19 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 				timer.Stop()
 			case <-c.done:
 				timer.Stop()
-				n.abandonCall(seq, ch)
+				n.abandonCall(pc.seq, ch)
+				pc.ch = nil
 				sp.Fail("cluster closed")
 				sp.End()
 				return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
 			case <-timer.C:
-				if attempt < attempts {
-					if d := pol.nextBackoff(attempt); d > 0 {
+				if pc.attempt < pc.attempts {
+					if d := pol.nextBackoff(pc.attempt); d > 0 {
 						select {
 						case <-time.After(d):
 						case <-c.done:
-							n.abandonCall(seq, ch)
+							n.abandonCall(pc.seq, ch)
+							pc.ch = nil
 							sp.Fail("cluster closed")
 							sp.End()
 							return nil, fmt.Errorf("rmi: %s: %w", cs.Name, ErrClusterClosed)
@@ -524,28 +699,36 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 					}
 					c.Counters.Retries.Add(1)
 					sp.AddRetry()
-					f := wire.GetBuf(len(master))
-					copy(f, master)
-					frame = f
+					f := wire.GetBuf(len(pc.master))
+					copy(f, pc.master)
+					pc.attempt++
+					if err := pc.sendAttempt(f); err != nil {
+						n.abandonCall(pc.seq, ch)
+						pc.ch = nil
+						sp.Fail("send: " + err.Error())
+						sp.End()
+						return nil, fmt.Errorf("rmi: send: %w", err)
+					}
 					continue
 				}
 				c.Counters.Timeouts.Add(1)
-				n.abandonCall(seq, ch)
+				n.abandonCall(pc.seq, ch)
+				pc.ch = nil
 				sp.EndPhase(trace.PhaseWaitReply)
 				// Close the span before dumping: the flight recorder must
 				// already hold the failing call when the dump is written.
 				if pr, ok := c.net.(transport.PartitionReporter); ok &&
-					(pr.Partitioned(n.ID, ref.Node) || pr.Partitioned(ref.Node, n.ID)) {
+					(pr.Partitioned(n.ID, pc.ref.Node) || pr.Partitioned(pc.ref.Node, n.ID)) {
 					sp.Fail("partitioned")
 					sp.End()
 					c.tracer.DumpFailure("partitioned")
-					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, ref.Node, ErrPartitioned)
+					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, pc.ref.Node, ErrPartitioned)
 				}
 				sp.Fail("timeout")
 				sp.End()
 				c.tracer.DumpFailure("timeout")
 				return nil, fmt.Errorf("rmi: %s to node %d after %d attempts of %v: %w",
-					cs.Name, ref.Node, attempts, pol.Timeout, ErrTimeout)
+					cs.Name, pc.ref.Node, pc.attempts, pol.Timeout, ErrTimeout)
 			}
 		}
 		break
@@ -554,7 +737,13 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 	// pending entry before sending: the channel is empty and no further
 	// send can occur — recycle it.
 	n.putReplyCh(ch)
+	pc.ch = nil
 	sp.EndPhase(trace.PhaseWaitReply)
+	if waitStart != 0 {
+		// Asynchronous call: record how long the caller was actually
+		// blocked in Wait, as opposed to overlapping its own work.
+		sp.SetPhase(trace.PhaseFutureWait, waitStart, trace.Now()-waitStart)
+	}
 	if sp != nil && rep.sentWall != 0 {
 		sp.SetPhase(trace.PhaseReplyTransit, rep.sentWall, rep.recvWall-rep.sentWall)
 	}
@@ -597,7 +786,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 		var cached []*model.Object
 		var scratch []model.Value
 		if cs.cfg.Reuse {
-			cached, scratch = cs.takeDonors(c, st, &cs.retCaches[n.ID], cs.retPlans, audit)
+			cached, scratch = cs.takeDonors(c, st, &cs.retCaches[n.ID], cs.retPlans, pc.audit)
 			if !cs.retScratch {
 				scratch = nil
 			}
@@ -610,7 +799,7 @@ func (cs *CallSite) invokeRemote(n *Node, ref Ref, args []model.Value, pol CallP
 			if errors.Is(err, wire.ErrMalformedFrame) {
 				// A CRC-valid but undecodable reply: count it against
 				// the link it arrived on, same as the callee side does.
-				n.noteMalformed(ref.Node)
+				n.noteMalformed(pc.ref.Node)
 			}
 			sp.Fail("unmarshal reply: " + err.Error())
 			sp.End()

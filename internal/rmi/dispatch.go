@@ -19,14 +19,17 @@ import (
 // deserialized here — under the node's receive lock, reproducing the
 // paper's "only one thread can drain the network" rule — and the user
 // method runs in a fresh goroutine. Replies are routed to the pending
-// invocation.
+// invocation. Batch containers are unpacked and each sub-frame takes
+// the same two paths.
 //
 // Frame ownership (DESIGN.md §8): the loop owns every received
 // payload. Call frames are fully deserialized inside handleCall (views
 // into the frame are copied into user objects there), so the frame is
 // recycled as soon as handleCall returns; reply frames travel onward
-// inside the reply struct and are recycled by the invoker. Frames that
-// turn out corrupt, stale or unroutable are recycled here.
+// inside the reply struct and are recycled by the invoker. Replies
+// extracted from a batch container are copied into a fresh pooled
+// buffer first — they outlive the container. Frames that turn out
+// corrupt, stale or unroutable are recycled here.
 func (n *Node) recvLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	// One reusable reader wraps each frame in turn; it never owns them.
@@ -53,31 +56,9 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			n.recvMu.Unlock()
 			wire.PutBuf(frame)
 		case msgReply:
-			seq := rd.ReadInt64()
-			flag := rd.ReadU8()
-			if rd.Err() != nil {
-				n.cluster.Counters.CorruptDropped.Add(1)
-				wire.PutBuf(frame)
-				continue
-			}
-			arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
-			body := payload[1+8+1:]
-			n.pendMu.Lock()
-			ch, ok := n.pending[seq]
-			if ok {
-				delete(n.pending, seq)
-			}
-			n.pendMu.Unlock()
-			if ok {
-				ch <- reply{
-					flag: flag, payload: body, buf: frame, arrival: arrival,
-					sentWall: p.Wall, recvWall: p.RecvWall,
-				}
-			} else {
-				// Duplicate or post-timeout reply; the call is gone.
-				n.cluster.Counters.StaleReplies.Add(1)
-				wire.PutBuf(frame)
-			}
+			n.routeReply(p, rd, frame)
+		case msgBatch:
+			n.handleBatch(p, rd, frame)
 		default:
 			// CRC-valid frame with an unknown message tag: the sender is
 			// speaking a different protocol (or lying). Not a transport
@@ -86,6 +67,120 @@ func (n *Node) recvLoop(wg *sync.WaitGroup) {
 			wire.PutBuf(frame)
 		}
 	}
+}
+
+// routeReply hands one reply frame to its pending invocation. The
+// channel send happens under pendMu, *before* the entry's removal is
+// visible to anyone else: abandonCall relies on "entry absent ⇒ reply
+// already in the channel" to recycle reply channels without leaking a
+// raced-in frame. It consumes frame.
+func (n *Node) routeReply(p transport.Packet, rd *wire.Message, frame []byte) {
+	seq := rd.ReadInt64()
+	flag := rd.ReadU8()
+	if rd.Err() != nil {
+		n.cluster.Counters.CorruptDropped.Add(1)
+		wire.PutBuf(frame)
+		return
+	}
+	arrival := p.TS + n.cluster.Cost.MessageNS(len(p.Payload))
+	body := p.Payload[1+8+1:]
+	n.pendMu.Lock()
+	ch, ok := n.pending[seq]
+	if ok {
+		delete(n.pending, seq)
+		// Buffered channel of one, sole reply for this entry: the send
+		// cannot block while holding the lock.
+		ch <- reply{
+			flag: flag, payload: body, buf: frame, arrival: arrival,
+			sentWall: p.Wall, recvWall: p.RecvWall,
+		}
+	}
+	n.pendMu.Unlock()
+	if !ok {
+		// Duplicate or post-timeout reply; the call is gone.
+		n.cluster.Counters.StaleReplies.Add(1)
+		wire.PutBuf(frame)
+	}
+}
+
+// handleBatch unpacks a coalesced container: each entry is an
+// independently sealed call or reply frame carrying its own original
+// send timestamps. The outer CRC already passed, so an undecodable
+// entry or broken inner seal is a malformed container, not line noise.
+// It consumes frame.
+func (n *Node) handleBatch(p transport.Packet, rd *wire.Message, frame []byte) {
+	count := int(rd.ReadInt32())
+	if err := rd.Err(); err != nil {
+		n.noteMalformed(p.From)
+		wire.PutBuf(frame)
+		return
+	}
+	if err := wire.CheckBatchCount(rd, count); err != nil {
+		n.noteMalformed(p.From)
+		wire.PutBuf(frame)
+		return
+	}
+	// The sub-frames need their own reader; rd keeps walking the
+	// container.
+	sub := wire.GetReader(nil)
+	for i := 0; i < count; i++ {
+		e, err := wire.ReadBatchEntry(rd)
+		if err != nil {
+			n.noteMalformed(p.From)
+			break
+		}
+		inner, err := wire.Unseal(e.Frame)
+		if err != nil {
+			n.noteMalformed(p.From)
+			continue
+		}
+		// The sub-packet carries the entry's original send timestamps;
+		// the receive stamp is the container's (they arrived together).
+		sp := transport.Packet{
+			From: p.From, To: p.To,
+			TS: e.TS, Wall: e.Wall, RecvWall: p.RecvWall,
+			Payload: inner,
+		}
+		sub.ResetTo(inner)
+		switch t := sub.ReadU8(); t {
+		case msgCall:
+			n.recvMu.Lock()
+			n.handleCall(sp, sub)
+			n.recvMu.Unlock()
+		case msgReply:
+			// Reply payloads outlive this container (the invoker recycles
+			// them after deserializing); give the reply its own buffer.
+			cp := wire.GetBuf(len(inner))
+			copy(cp, inner)
+			sp.Payload = cp
+			sub.ResetTo(cp)
+			sub.ReadU8()
+			n.routeReply(sp, sub, cp)
+		default:
+			n.noteMalformed(p.From)
+		}
+	}
+	sub.ReleaseReader()
+	wire.PutBuf(frame)
+}
+
+// execCtx is the callee-side invocation context threaded from
+// handleCall into the method-running goroutine.
+type execCtx struct {
+	from  int
+	seq   int64
+	start int64 // virtual start time (arrival + dispatch + unmarshal)
+	track bool  // dedup bookkeeping needed
+	audit bool  // claim-checking sampled on
+	// oneWay suppresses the reply; failures are counted and dumped.
+	oneWay bool
+	// promised publishes the outcome in the promise table before (and
+	// regardless of) the reply.
+	promised bool
+	// reuse returns the argument graphs to the site's §3.3 caches after
+	// the method runs; the pipelined path disables it (spliced arguments
+	// are not cache donors).
+	reuse bool
 }
 
 // handleCall deserializes one incoming call and launches the method.
@@ -114,10 +209,13 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// traced mirrors the caller's span with a callee-side one; header
 	// and lookup errors reply before a span exists (nil span = no-op).
 	traced := c.tracer != nil && flags&callFlagTraced != 0
+	oneWay := flags&callFlagOneWay != 0
+	promised := flags&callFlagPromised != 0
+	pipelined := flags&callFlagPipelined != 0
 	if m.Err() != nil {
 		// The header itself is undecodable — nothing in this frame
-		// (including seq) can be trusted, so no dedup entry exists yet
-		// and the reply is best-effort.
+		// (including seq and the flags) can be trusted, so no dedup
+		// entry exists yet and the reply is best-effort.
 		n.noteMalformed(p.From)
 		n.sendMalformed(p.From, seq, start, fmt.Sprintf("bad call header: %v", m.Err()), nil)
 		return
@@ -131,18 +229,25 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		key := dedupKey{from: p.From, seq: seq}
 		if e, fresh := n.dedupAdmit(key); !fresh {
 			c.Counters.DupSuppressed.Add(1)
-			if e != nil {
+			if e != nil && e.payload != nil {
 				// The call already completed: answer from the reply
 				// cache with a fresh copy (the transport consumes the
-				// buffer it is handed; the cache keeps its own).
+				// buffer it is handed; the cache keeps its own). One-way
+				// calls complete with a nil payload — the duplicate is
+				// suppressed but nothing is sent.
 				c.Counters.Messages.Add(1)
 				c.Counters.WireBytes.Add(int64(len(e.payload) - wire.ChecksumSize))
 				cp := wire.GetBuf(len(e.payload))
 				copy(cp, e.payload)
-				_ = n.ep.Send(transport.Packet{To: p.From, TS: e.ts, Payload: cp})
+				_ = n.send(transport.Packet{To: p.From, TS: e.ts, Payload: cp})
 			}
 			return
 		}
+	}
+
+	ec := execCtx{
+		from: p.From, seq: seq, track: track,
+		oneWay: oneWay, promised: promised, reuse: !pipelined,
 	}
 
 	var lookupStart int64
@@ -151,17 +256,17 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	}
 	cs, ok := c.site(siteID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("unknown call site %d", siteID), track, nil)
+		n.rejectCall(ec, start, fmt.Sprintf("unknown call site %d", siteID), nil, false)
 		return
 	}
 	svc, ok := n.lookup(objID)
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("no object %d on node %d", objID, n.ID), track, nil)
+		n.rejectCall(ec, start, fmt.Sprintf("no object %d on node %d", objID, n.ID), nil, false)
 		return
 	}
 	method, ok := svc.Methods[cs.Method]
 	if !ok {
-		n.sendError(p.From, seq, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method), track, nil)
+		n.rejectCall(ec, start, fmt.Sprintf("%s has no method %q", svc.Name, cs.Method), nil, false)
 		return
 	}
 
@@ -178,6 +283,23 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		sp.SetVirtualTransit(arrival - p.TS)
 	}
 
+	// The promise section rides between the argument count and the
+	// argument bytes. Its hardened decoder bounds the handle count and
+	// argument positions before anything dereferences them.
+	var handles []serial.PromiseHandle
+	if pipelined {
+		var perr error
+		handles, perr = serial.ReadPromises(m, nargs)
+		if perr != nil {
+			n.noteMalformed(p.From)
+			if track {
+				n.dedupAbort(dedupKey{from: p.From, seq: seq})
+			}
+			n.rejectCall(ec, start, fmt.Sprintf("promise section: %v", perr), sp, true)
+			return
+		}
+	}
+
 	// The unmarshaler: take the cached argument graphs (Figure 13's
 	// temp_arr guard), deserialize — overwriting them in place when
 	// shapes match — and hand the copies to the user code. A
@@ -186,21 +308,32 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	// The callee samples its own audit decision: it guards the donor
 	// shapes consumed here and the reply serialization in runMethod.
 	st := &cs.statShards[n.ID]
-	audit := c.auditCall()
-	if audit {
+	ec.audit = c.auditCall()
+	if ec.audit {
 		st.ClaimChecks.Add(1)
 		c.Counters.ClaimChecks.Add(1)
 	}
+	// A pipelined call's argument slice mixes wire values with promise
+	// splices, so it reads with reuse off: no donors taken, nothing put
+	// back (ec.reuse is already false).
+	rcfg := cs.cfg
+	nwire := nargs
+	rplans := cs.argPlans
+	if pipelined {
+		rcfg.Reuse = false
+		nwire = nargs - len(handles)
+		rplans = subsetPlans(cs.argPlans, nargs, handles)
+	}
 	var cached []*model.Object
 	var scratch []model.Value
-	if cs.cfg.Reuse {
-		cached, scratch = cs.takeDonors(c, st, &cs.argCaches[n.ID], cs.argPlans, audit)
+	if rcfg.Reuse {
+		cached, scratch = cs.takeDonors(c, st, &cs.argCaches[n.ID], cs.argPlans, ec.audit)
 		if !cs.argScratch {
 			scratch = nil
 		}
 	}
 	sp.BeginPhase(trace.PhaseDeserialize)
-	args, roots, ops, err := serial.ReadValuesScratch(m, c.Registry, nargs, cs.argPlans, cs.cfg, cached, scratch, c.Counters)
+	args, roots, ops, err := serial.ReadValuesScratch(m, c.Registry, nwire, rplans, rcfg, cached, scratch, c.Counters)
 	sp.EndPhase(trace.PhaseDeserialize)
 	if err != nil {
 		if errors.Is(err, wire.ErrMalformedFrame) {
@@ -213,27 +346,169 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 			if track {
 				n.dedupAbort(dedupKey{from: p.From, seq: seq})
 			}
-			n.sendMalformed(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), sp)
+			n.rejectCall(ec, start, fmt.Sprintf("unmarshal: %v", err), sp, true)
 			return
 		}
-		n.sendError(p.From, seq, start, fmt.Sprintf("unmarshal: %v", err), track, sp)
+		n.rejectCall(ec, start, fmt.Sprintf("unmarshal: %v", err), sp, false)
 		return
 	}
-	start += c.Cost.CostNS(ops)
+	ec.start = start + c.Cost.CostNS(ops)
 
 	// "a new thread is created to invoke the user's code" (Figure 1).
 	sp.BeginPhase(trace.PhaseDispatch)
-	go n.runMethod(cs, method, p.From, seq, start, args, roots, track, audit, sp)
+	if pipelined {
+		// Spread the wire values over the full argument slice, leaving
+		// the promised positions for runPipelined to splice.
+		full := make([]model.Value, nargs)
+		at := promisedAt(handles)
+		idx := 0
+		for i := range full {
+			if !at(i) {
+				full[i] = args[idx]
+				idx++
+			}
+		}
+		go n.runPipelined(cs, method, ec, full, handles, sp)
+		return
+	}
+	go n.runMethod(cs, method, ec, args, roots, sp)
 }
 
-// runMethod executes the user method, returns the cached argument
-// graphs to the call site, and ships the reply (or a bare ack when the
-// call site ignores the return value). A panic in user code is
-// converted into a remote-exception reply carrying the callee's stack.
-func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64, args []model.Value, roots []*model.Object, track, audit bool, sp *trace.Span) {
+// rejectCall answers a call that failed before the method could run,
+// honoring the call's mode: promised calls publish the failure so
+// pipelined dependents unblock, one-way calls record it without
+// replying, and malformed frames get the typed replyMalformed flag.
+func (n *Node) rejectCall(ec execCtx, floor int64, msg string, sp *trace.Span, malformed bool) {
 	c := n.cluster
+	if ec.promised {
+		n.promiseFail(dedupKey{from: ec.from, seq: ec.seq}, msg, floor)
+	}
+	if ec.oneWay {
+		c.Counters.OneWayErrors.Add(1)
+		sp.Fail(msg)
+		sp.End()
+		c.tracer.DumpFailure("oneway-error")
+		return
+	}
+	if malformed {
+		n.sendMalformed(ec.from, ec.seq, floor, msg, sp)
+		return
+	}
+	n.sendError(ec.from, ec.seq, floor, msg, ec.track, sp)
+}
+
+// promisedAt builds a position-membership test over the (already
+// validated) promise handles.
+func promisedAt(handles []serial.PromiseHandle) func(int) bool {
+	var mask uint64
+	var over map[int]bool
+	for _, h := range handles {
+		if h.Arg < 64 {
+			mask |= 1 << uint(h.Arg)
+		} else {
+			if over == nil {
+				over = make(map[int]bool)
+			}
+			over[int(h.Arg)] = true
+		}
+	}
+	return func(i int) bool {
+		if i < 64 {
+			return mask&(1<<uint(i)) != 0
+		}
+		return over[i]
+	}
+}
+
+// subsetPlans drops the promised positions from a site-mode plan list
+// (nil in class mode stays nil).
+func subsetPlans(plans []*serial.Plan, nargs int, handles []serial.PromiseHandle) []*serial.Plan {
+	if plans == nil {
+		return nil
+	}
+	at := promisedAt(handles)
+	out := make([]*serial.Plan, 0, len(plans)-len(handles))
+	for i := 0; i < len(plans) && i < nargs; i++ {
+		if !at(i) {
+			out = append(out, plans[i])
+		}
+	}
+	return out
+}
+
+// runMethod executes the user method on the plain path. It runs in its
+// own goroutine ("a new thread is created to invoke the user's code").
+func (n *Node) runMethod(cs *CallSite, method Method, ec execCtx, args []model.Value, roots []*model.Object, sp *trace.Span) {
 	sp.EndPhase(trace.PhaseDispatch)
-	call := &Call{Node: n, From: from, Site: cs, start: start}
+	n.executeAndReply(cs, method, ec, args, roots, sp)
+}
+
+// runPipelined resolves the call's promise handles against the node's
+// promise table — parking until the producers finish when the call
+// raced ahead of them — splices the results into the argument slice,
+// and then executes like any other call. The caller's round trip never
+// covered the producers: that is the point of pipelining.
+func (n *Node) runPipelined(cs *CallSite, method Method, ec execCtx, args []model.Value, handles []serial.PromiseHandle, sp *trace.Span) {
+	c := n.cluster
+	c.Counters.PipelinedCalls.Add(1)
+	sp.EndPhase(trace.PhaseDispatch)
+	for _, h := range handles {
+		key := dedupKey{from: ec.from, seq: h.Seq}
+		e := n.promiseGet(key)
+		n.promMu.Lock()
+		done := e.done
+		ready := e.ready
+		n.promMu.Unlock()
+		if !done {
+			// The pipelined call overtook its producer; park until the
+			// producer publishes (or the cluster shuts down).
+			c.Counters.PromiseParks.Add(1)
+			sp.BeginPhase(trace.PhasePromiseWait)
+			select {
+			case <-ready:
+			case <-c.done:
+				sp.EndPhase(trace.PhasePromiseWait)
+				ec.promisedReject(n, fmt.Sprintf("promise (from %d, seq %d): %v", ec.from, h.Seq, ErrClusterClosed), sp)
+				return
+			}
+			sp.EndPhase(trace.PhasePromiseWait)
+		}
+		n.promMu.Lock()
+		errMsg, vals, ts := e.err, e.vals, e.ts
+		n.promMu.Unlock()
+		if errMsg != "" {
+			ec.promisedReject(n, fmt.Sprintf("promised argument %d failed: %s", h.Arg, errMsg), sp)
+			return
+		}
+		if int(h.Ret) >= len(vals) {
+			ec.promisedReject(n, fmt.Sprintf("promised argument %d: producer returned %d values, handle wants %d", h.Arg, len(vals), h.Ret), sp)
+			return
+		}
+		// Clone out of the table: the entry may feed several consumers,
+		// and the method is free to mutate its arguments.
+		args[h.Arg] = model.CloneValue(vals[int(h.Ret)], nil)
+		// The spliced value exists only once the producer finished;
+		// the dependent call cannot start before that.
+		if ts > ec.start {
+			ec.start = ts
+		}
+	}
+	n.executeAndReply(cs, method, ec, args, nil, sp)
+}
+
+// promisedReject is rejectCall for failures inside the method-running
+// goroutine (after dispatch).
+func (ec execCtx) promisedReject(n *Node, msg string, sp *trace.Span) {
+	n.rejectCall(ec, ec.start, msg, sp, false)
+}
+
+// executeAndReply runs the user method, returns the cached argument
+// graphs to the call site, publishes promised outcomes, and ships the
+// reply — or suppresses it for one-way calls. A panic in user code is
+// converted into a remote-exception reply carrying the callee's stack.
+func (n *Node) executeAndReply(cs *CallSite, method Method, ec execCtx, args []model.Value, roots []*model.Object, sp *trace.Span) {
+	c := n.cluster
+	call := &Call{Node: n, From: ec.from, Site: cs, start: ec.start}
 	var rets []model.Value
 	sp.BeginPhase(trace.PhaseExecute)
 	err := func() (err error) {
@@ -249,7 +524,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	// Escape analysis proved the argument graphs dead after the call;
 	// stash them (and, when every reference is covered by the proof,
 	// the argument slice itself) for the next invocation of this site.
-	if cs.cfg.Reuse {
+	if ec.reuse && cs.cfg.Reuse {
 		var scratch []model.Value
 		if cs.argScratch {
 			scratch = args
@@ -261,11 +536,43 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	// the communication processor's current time; marshaling advances
 	// the latter.
 	done := call.start + call.computed
+	key := dedupKey{from: ec.from, seq: ec.seq}
 	if err != nil {
+		if ec.promised {
+			n.promiseFail(key, err.Error(), done)
+		}
+		if ec.oneWay {
+			// Fire-and-forget failure: no caller is listening, so the
+			// error surfaces through the counter and the flight recorder.
+			c.Counters.OneWayErrors.Add(1)
+			if ec.track {
+				n.dedupComplete(key, nil, done)
+			}
+			sp.Fail(err.Error())
+			sp.End()
+			c.tracer.DumpFailure("oneway-error")
+			return
+		}
 		// A panic is one of the flight recorder's auto-dump triggers;
 		// sendError closes the span first, so the dump includes it.
-		n.sendError(from, seq, done, err.Error(), track, sp)
+		n.sendError(ec.from, ec.seq, done, err.Error(), ec.track, sp)
 		c.tracer.DumpFailure("panic")
+		return
+	}
+	if ec.promised {
+		// Publish before replying: a pipelined dependent may already be
+		// parked on this entry, and the caller's own Wait comes later.
+		n.promiseFulfill(key, rets, done)
+	}
+	if ec.oneWay {
+		// No reply frame at all — the entire reply path (serialize,
+		// seal, send, caller-side decode) is skipped. Tracked calls
+		// still mark the dedup entry done (nil payload) so duplicate
+		// deliveries stay suppressed without a cached reply.
+		if ec.track {
+			n.dedupComplete(key, nil, done)
+		}
+		sp.End()
 		return
 	}
 
@@ -273,7 +580,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 	st := &cs.statShards[n.ID]
 	m := wire.Get()
 	m.AppendByte(msgReply)
-	m.AppendInt64(seq)
+	m.AppendInt64(ec.seq)
 	var marshalNS int64
 	if cs.ignoreRet && cs.cfg.Mode == serial.ModeSite {
 		// §3.1: the return value is ignored at this call site — send a
@@ -284,13 +591,13 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		m.AppendByte(replyValues)
 		m.AppendInt32(int32(len(rets)))
 		var lp *serial.LinkPlans
-		if l := n.linkTo(from); l != nil {
+		if l := n.linkTo(ec.from); l != nil {
 			lp = l.lp
 		}
-		ops, werr := cs.writeChecked(c, st, m, rets, cs.retPlans, audit, lp)
+		ops, werr := cs.writeChecked(c, st, m, rets, cs.retPlans, ec.audit, lp)
 		if werr != nil {
 			m.Release()
-			n.sendError(from, seq, done, fmt.Sprintf("marshal return: %v", werr), track, sp)
+			n.sendError(ec.from, ec.seq, done, fmt.Sprintf("marshal return: %v", werr), ec.track, sp)
 			return
 		}
 		if cs.retTablesElided != 0 {
@@ -299,7 +606,7 @@ func (n *Node) runMethod(cs *CallSite, method Method, from int, seq, start int64
 		marshalNS = c.Cost.CostNS(ops)
 	}
 	st.WireBytes.Add(int64(m.Len()))
-	n.sendReply(from, seq, done+marshalNS, m, track, sp)
+	n.sendReply(ec.from, ec.seq, done+marshalNS, m, ec.track, sp)
 }
 
 // sendReply seals the reply in place and ships the frame, recording a
@@ -323,7 +630,7 @@ func (n *Node) sendReply(to int, seq, ts int64, m *wire.Message, track bool, sp 
 	if sp != nil {
 		pkt.Wall = trace.Now()
 	}
-	_ = n.ep.Send(pkt)
+	_ = n.send(pkt)
 	sp.End()
 }
 

@@ -46,6 +46,11 @@ type nodeLink struct {
 	// min(local, remote); peerPlans is the peer's plan generation.
 	version   int32
 	peerPlans int32
+	// caps is the link's negotiated capability set: the intersection of
+	// both HELLOs' advertised bits (wire.Cap*). Optional features —
+	// promise pipelining, one-way calls, frame batching — are used on
+	// this link only when the corresponding bit survived negotiation.
+	caps uint32
 	// malformedDumped latches the one flight-recorder dump this link
 	// records on its first malformed frame.
 	malformedDumped atomic.Bool
@@ -74,7 +79,7 @@ func (n *Node) linkTo(peer int) *nodeLink {
 func (c *Cluster) helloBytes(node int) []byte {
 	c.fpOnce.Do(func() { c.fps = serial.RegistryFingerprints(c.Registry) })
 	fps := c.fps
-	h := &wire.Hello{Version: wire.ProtocolVersion, PlanVersion: 1, Node: int32(node)}
+	h := &wire.Hello{Version: wire.ProtocolVersion, PlanVersion: 1, Node: int32(node), Caps: wire.LocalCaps &^ c.capsMask[node]}
 	skewClasses, skewed := c.skew[node]
 	var skewSet map[string]bool
 	if skewed {
@@ -109,6 +114,9 @@ func (c *Cluster) negotiateLink(local, peer int, l *nodeLink) {
 	localHello, lerr := wire.DecodeHello(c.helloBytes(local))
 	peerHello, perr := wire.DecodeHello(c.helloBytes(peer))
 	if lerr != nil || perr != nil {
+		// An unverifiable peer gets no optional features either: caps
+		// stay zero, so pipelining, one-way and batching all demote to
+		// their synchronous fallbacks on this link.
 		l.version = wire.ProtocolVersion
 		l.lp = serial.DemoteAll(c.Registry)
 		return
@@ -118,6 +126,7 @@ func (c *Cluster) negotiateLink(local, peer int, l *nodeLink) {
 		l.version = peerHello.Version
 	}
 	l.peerPlans = peerHello.PlanVersion
+	l.caps = localHello.Caps & peerHello.Caps
 	l.lp = serial.Negotiate(c.Registry, fpMap(localHello), fpMap(peerHello))
 }
 
@@ -152,14 +161,21 @@ func (c *Cluster) LinkStats() []stats.LinkStat {
 			if !l.ready.Load() {
 				continue
 			}
-			out = append(out, stats.LinkStat{
+			ls := stats.LinkStat{
 				From:           n.ID,
 				To:             peer,
 				Version:        l.version,
 				PeerPlans:      l.peerPlans,
 				DemotedClasses: l.lp.DemotedCount(),
 				Fallbacks:      l.lp.Fallbacks(),
-			})
+				Caps:           l.caps,
+			}
+			if n.batchers != nil && n.batchers[peer] != nil {
+				b := n.batchers[peer]
+				ls.BatchedFrames = b.batched.Load()
+				ls.BatchFlushes = b.flushes.Load()
+			}
+			out = append(out, ls)
 		}
 	}
 	return out

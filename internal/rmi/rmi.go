@@ -187,6 +187,22 @@ type Cluster struct {
 	// class-level encoding. nil in production-shaped clusters.
 	skew map[int][]string
 
+	// capsMask maps node ID → capability bits stripped from that node's
+	// HELLO advertisement (WithoutCaps). Test knob simulating a peer
+	// that does not speak an optional protocol feature; links touching
+	// the node negotiate the feature away.
+	capsMask map[int]uint32
+
+	// batch, when non-nil, enables the per-link outbound frame batcher
+	// (WithBatching) with the given flush window and budgets.
+	batch *BatchConfig
+
+	// promiseCap bounds each node's promise table (default 1024).
+	promiseCap int
+
+	// futPool recycles Future structs across asynchronous invocations.
+	futPool sync.Pool
+
 	// fpOnce guards the one registry fingerprint pass shared by every
 	// link negotiation: model.Class.AllFields caches lazily, so the
 	// flattening must not race when several links negotiate at once.
@@ -216,6 +232,9 @@ type clusterOpts struct {
 	tracer     *trace.Tracer
 	claimEvery int64
 	skew       map[int][]string
+	capsMask   map[int]uint32
+	batch      *BatchConfig
+	promiseCap int
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -298,10 +317,32 @@ func WithPlanSkew(node int, classes ...string) Option {
 	}
 }
 
+// WithoutCaps strips capability bits from node's HELLO advertisement,
+// simulating a peer that does not implement an optional protocol
+// feature (promise pipelining, one-way calls, frame batching). Links
+// touching the node negotiate the masked features away and callers
+// fall back to the synchronous resolve-then-send path — the chaos
+// harness's capability-demotion knob.
+func WithoutCaps(node int, caps uint32) Option {
+	return func(o *clusterOpts) {
+		if o.capsMask == nil {
+			o.capsMask = make(map[int]uint32)
+		}
+		o.capsMask[node] |= caps
+	}
+}
+
+// WithPromiseCap bounds each node's promise table — the per-link store
+// a callee keeps so pipelined calls can reference the results of
+// earlier promised calls (default 1024 entries).
+func WithPromiseCap(n int) Option {
+	return func(o *clusterOpts) { o.promiseCap = n }
+}
+
 // New creates a cluster of n nodes (default: in-process channel
 // network) and starts their receive loops.
 func New(n int, opts ...Option) *Cluster {
-	o := clusterOpts{cost: simtime.DefaultCostModel(), depth: 1024, dedupCap: 4096}
+	o := clusterOpts{cost: simtime.DefaultCostModel(), depth: 1024, dedupCap: 4096, promiseCap: 1024}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -328,6 +369,9 @@ func New(n int, opts ...Option) *Cluster {
 		tracer:     o.tracer,
 		claimEvery: o.claimEvery,
 		skew:       o.skew,
+		capsMask:   o.capsMask,
+		batch:      o.batch,
+		promiseCap: o.promiseCap,
 		done:       make(chan struct{}),
 	}
 	c.nodes = make([]*Node, n)
@@ -373,10 +417,30 @@ func (c *Cluster) Close() {
 		return
 	}
 	close(c.done)
+	// Stop the batchers first: their flush timers must not fire into a
+	// closing network, and coalesced frames still pending are dropped
+	// (their invocations fail with ErrClusterClosed below anyway).
+	for _, n := range c.nodes {
+		n.stopBatchers()
+	}
 	c.net.Close()
 	c.wg.Wait()
 	for _, n := range c.nodes {
 		n.failPending()
+		n.failPromises()
+	}
+}
+
+// FlushBatches synchronously flushes every node's pending outbound
+// batch containers. Deterministic tests (and drains at a workload
+// boundary) use it instead of waiting out the flush window.
+func (c *Cluster) FlushBatches() {
+	for _, n := range c.nodes {
+		for _, b := range n.batchers {
+			if b != nil {
+				b.flush()
+			}
+		}
 	}
 }
 
@@ -474,6 +538,19 @@ type Node struct {
 	// per cluster node (see negotiate.go). Each slot initializes at
 	// most once, on the first frame exchanged with that peer.
 	links []nodeLink
+
+	// The callee-side promise table (promise pipelining): results of
+	// promised calls, keyed by the same (from, seq) call id the dedup
+	// cache uses, consumed by later pipelined calls from the same
+	// caller. See promise.go.
+	promMu   sync.Mutex
+	promises map[dedupKey]*promiseEntry
+	promQ    []dedupKey
+
+	// batchers holds the per-peer outbound frame coalescers, one slot
+	// per cluster node; nil slots (and a nil slice, when batching is
+	// off) send directly. See batch.go.
+	batchers []*linkBatcher
 }
 
 // dedupKey identifies one call attempt stream: sequence numbers are
@@ -508,7 +585,7 @@ type reply struct {
 }
 
 func newNode(c *Cluster, id int) *Node {
-	return &Node{
+	n := &Node{
 		ID:      id,
 		cluster: c,
 		ep:      c.net.Endpoint(id),
@@ -517,6 +594,15 @@ func newNode(c *Cluster, id int) *Node {
 		dedup:   make(map[dedupKey]*dedupEntry),
 		links:   make([]nodeLink, len(c.nodes)),
 	}
+	if c.batch != nil {
+		n.batchers = make([]*linkBatcher, len(c.nodes))
+		for peer := range n.batchers {
+			if peer != id {
+				n.batchers[peer] = newLinkBatcher(n, peer, *c.batch)
+			}
+		}
+	}
+	return n
 }
 
 // Cluster returns the owning cluster.
@@ -555,14 +641,19 @@ func (n *Node) putReplyCh(ch chan reply) { n.chPool.Put(ch) }
 // abandonCall cleans up after an invocation that will not consume its
 // reply (send failure, timeout, shutdown). The invariant making
 // channel recycling safe is that a reply is sent only by whoever
-// removes the pending entry, at most once per insertion:
+// removes the pending entry — and the send happens *under pendMu,
+// before the removal is visible* (see routeReply and failPending). So:
 //
-//   - if the entry is still pending, abandonCall removes it, so no
-//     reply can ever land and the channel is empty — recycle it;
-//   - if someone else already removed it, they owe the channel exactly
-//     one send; if it has landed we consume it (frame back to the
-//     pool, channel recycled), otherwise the send may still be in
-//     flight and the channel is abandoned to the GC.
+//   - if the entry is still pending, abandonCall removes it, no reply
+//     can ever land, and the channel is empty — recycle it;
+//   - if someone else already removed it, their buffered send
+//     completed before they released the lock we just held, so the
+//     reply is guaranteed to be in the channel: consume it (frame back
+//     to the pool) and recycle the channel.
+//
+// Either way the channel re-enters the pool and the reply frame, if
+// one raced in, re-enters the wire pool — nothing is abandoned to the
+// GC no matter how the timeout races the reply.
 func (n *Node) abandonCall(seq int64, ch chan reply) {
 	n.pendMu.Lock()
 	_, present := n.pending[seq]
@@ -570,16 +661,11 @@ func (n *Node) abandonCall(seq int64, ch chan reply) {
 		delete(n.pending, seq)
 	}
 	n.pendMu.Unlock()
-	if present {
-		n.putReplyCh(ch)
-		return
-	}
-	select {
-	case rep := <-ch:
+	if !present {
+		rep := <-ch
 		wire.PutBuf(rep.buf)
-		n.putReplyCh(ch)
-	default:
 	}
+	n.putReplyCh(ch)
 }
 
 func (n *Node) failPending() {

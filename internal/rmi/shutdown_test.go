@@ -2,7 +2,9 @@ package rmi
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cormi/internal/model"
 	"cormi/internal/serial"
@@ -74,5 +76,80 @@ func TestLocalInvokeClassModeReturnsCloned(t *testing.T) {
 	}
 	if head.Get("v").I == -1 || rets[0].O == head {
 		t.Fatal("class-mode local call broke cloning semantics")
+	}
+}
+
+func TestCloseCompletesInFlightFutures(t *testing.T) {
+	// A future whose call is parked at the callee when the cluster goes
+	// down must complete with ErrClusterClosed rather than hang its
+	// eventual waiter.
+	e := newEnv(t, 2)
+	block := make(chan struct{})
+	defer close(block)
+	svc := &Service{Name: "Slow", Methods: map[string]Method{
+		"wait": func(call *Call, args []model.Value) []model.Value {
+			<-block
+			return nil
+		},
+	}}
+	ref := e.c.Node(1).Export(svc)
+	cs := e.c.MustNewCallSite(LevelSite, SiteSpec{Name: "t.fwait", Method: "wait", IgnoreRet: true})
+
+	f := cs.InvokeAsync(e.c.Node(0), ref, nil, AsyncOpts{})
+	errc := make(chan error, 1)
+	go func() { errc <- f.Err() }()
+	for e.c.Counters.Snapshot().RemoteRPCs < 1 {
+	}
+	e.c.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("future resolved successfully across Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not complete the in-flight future")
+	}
+}
+
+func TestCloseUnparksPipelinedCalls(t *testing.T) {
+	// A pipelined call parked on an unresolved promise must unblock on
+	// Close: the promise table is failed, the parked executor rejects,
+	// and the caller's future completes with an error instead of
+	// extending shutdown indefinitely.
+	e := newEnv(t, 2)
+	gate := make(chan struct{})
+	defer close(gate)
+	var execs atomic.Int64
+	ref := pipelineEnv(t, e.c, gate, &execs)
+	slow := pipeSite(t, e.c, "slow")
+	bump := pipeSite(t, e.c, "bump")
+
+	f1 := slow.InvokeAsync(e.c.Node(0), ref, []model.Value{model.Int(1)}, AsyncOpts{Promised: true})
+	f2 := bump.InvokeAsync(e.c.Node(0), ref, []model.Value{{}}, AsyncOpts{
+		Promises: []PromiseArg{{Arg: 0, Fut: f1}},
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- f2.Err() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.c.Counters.PromiseParks.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dependent call never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { e.c.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a parked pipelined call")
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("parked pipelined call resolved successfully across Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked pipelined call never completed after Close")
 	}
 }

@@ -1,0 +1,98 @@
+package serial
+
+import (
+	"fmt"
+
+	"cormi/internal/wire"
+)
+
+// Promise handle encoding (promise pipelining).
+//
+// A pipelined call names arguments whose values the caller does not
+// have yet: each is a handle onto an earlier promised call's result,
+// identified by that call's sequence number (the caller half of the
+// (from, seq) call id — the callee fills in `from` from the frame it
+// arrived on, so one caller can never reference another's promises).
+// The handle section rides the call frame between the argument count
+// and the serialized arguments; arguments at promised positions are
+// NOT serialized at all — the callee splices them from its promise
+// table — so a pipelined frame is smaller than its resolved
+// equivalent, not larger.
+//
+// Handles arrive from the network, so ReadPromises is hardened like
+// every other decoder here: the count is capped, argument indices are
+// bounds-checked against the declared arity, duplicates are rejected,
+// and every rejection wraps wire.ErrMalformedFrame.
+
+// PromiseHandle names one promised argument: Arg is the argument
+// position it fills, Seq the producing call's sequence number, Ret the
+// index into the producer's return values.
+type PromiseHandle struct {
+	Arg int32
+	Seq int64
+	Ret int32
+}
+
+// MaxPromiseHandles caps the handle section of one call. Real call
+// sites have a handful of arguments; a count past this is hostile.
+const MaxPromiseHandles = 64
+
+// WritePromises appends the handle section: a count followed by the
+// handles.
+func WritePromises(m *wire.Message, ps []PromiseHandle) {
+	m.AppendInt32(int32(len(ps)))
+	for _, p := range ps {
+		m.AppendInt32(p.Arg)
+		m.AppendInt64(p.Seq)
+		m.AppendInt32(p.Ret)
+	}
+}
+
+// ReadPromises decodes and validates a handle section for a call
+// declaring nargs arguments. Every handle must target a distinct
+// argument position inside [0, nargs); Ret must be a plausible return
+// index.
+func ReadPromises(m *wire.Message, nargs int) ([]PromiseHandle, error) {
+	n := int(m.ReadInt32())
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxPromiseHandles {
+		return nil, fmt.Errorf("%w: promise handle count %d (cap %d)", wire.ErrMalformedFrame, n, MaxPromiseHandles)
+	}
+	if n > nargs {
+		return nil, fmt.Errorf("%w: %d promise handles for %d arguments", wire.ErrMalformedFrame, n, nargs)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var seen uint64 // nargs ≤ 64 is enforced by the n > nargs check above for promised positions
+	ps := make([]PromiseHandle, 0, n)
+	for i := 0; i < n; i++ {
+		h := PromiseHandle{Arg: m.ReadInt32(), Seq: m.ReadInt64(), Ret: m.ReadInt32()}
+		if err := m.Err(); err != nil {
+			return nil, err
+		}
+		if h.Arg < 0 || int(h.Arg) >= nargs {
+			return nil, fmt.Errorf("%w: promise handle %d targets argument %d of %d", wire.ErrMalformedFrame, i, h.Arg, nargs)
+		}
+		if h.Arg < 64 {
+			bit := uint64(1) << uint(h.Arg)
+			if seen&bit != 0 {
+				return nil, fmt.Errorf("%w: duplicate promise handle for argument %d", wire.ErrMalformedFrame, h.Arg)
+			}
+			seen |= bit
+		} else {
+			for _, prev := range ps {
+				if prev.Arg == h.Arg {
+					return nil, fmt.Errorf("%w: duplicate promise handle for argument %d", wire.ErrMalformedFrame, h.Arg)
+				}
+			}
+		}
+		if h.Ret < 0 || h.Ret >= MaxPromiseHandles {
+			return nil, fmt.Errorf("%w: promise handle %d return index %d", wire.ErrMalformedFrame, i, h.Ret)
+		}
+		ps = append(ps, h)
+	}
+	return ps, nil
+}

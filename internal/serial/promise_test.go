@@ -1,0 +1,73 @@
+package serial
+
+import (
+	"errors"
+	"testing"
+
+	"cormi/internal/wire"
+)
+
+func TestPromisesRoundTrip(t *testing.T) {
+	in := []PromiseHandle{
+		{Arg: 0, Seq: 42, Ret: 0},
+		{Arg: 2, Seq: 7, Ret: 3},
+		{Arg: 1, Seq: 1 << 40, Ret: 1},
+	}
+	m := wire.NewMessage(64)
+	WritePromises(m, in)
+	m.Rewind()
+	out, err := ReadPromises(m, 4)
+	if err != nil {
+		t.Fatalf("ReadPromises: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d handles, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("handle %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+
+	// Empty section round-trips to nil.
+	m2 := wire.NewMessage(8)
+	WritePromises(m2, nil)
+	m2.Rewind()
+	if out, err := ReadPromises(m2, 4); err != nil || out != nil {
+		t.Fatalf("empty section: handles=%v err=%v", out, err)
+	}
+}
+
+func TestReadPromisesRejects(t *testing.T) {
+	encode := func(count int32, hs ...PromiseHandle) *wire.Message {
+		m := wire.NewMessage(64)
+		m.AppendInt32(count)
+		for _, h := range hs {
+			m.AppendInt32(h.Arg)
+			m.AppendInt64(h.Seq)
+			m.AppendInt32(h.Ret)
+		}
+		m.Rewind()
+		return m
+	}
+	cases := []struct {
+		name  string
+		m     *wire.Message
+		nargs int
+	}{
+		{"negative count", encode(-1), 4},
+		{"count over cap", encode(MaxPromiseHandles + 1), MaxPromiseHandles + 2},
+		{"more handles than args", encode(3, PromiseHandle{}, PromiseHandle{Arg: 1}, PromiseHandle{Arg: 2}), 2},
+		{"arg negative", encode(1, PromiseHandle{Arg: -1}), 4},
+		{"arg out of range", encode(1, PromiseHandle{Arg: 4}), 4},
+		{"duplicate arg", encode(2, PromiseHandle{Arg: 1}, PromiseHandle{Arg: 1}), 4},
+		{"ret negative", encode(1, PromiseHandle{Arg: 0, Ret: -1}), 4},
+		{"ret over cap", encode(1, PromiseHandle{Arg: 0, Ret: MaxPromiseHandles}), 4},
+		{"truncated section", encode(2, PromiseHandle{Arg: 0}), 4},
+	}
+	for _, tc := range cases {
+		if _, err := ReadPromises(tc.m, tc.nargs); !errors.Is(err, wire.ErrMalformedFrame) {
+			t.Errorf("%s: err = %v, want ErrMalformedFrame", tc.name, err)
+		}
+	}
+}

@@ -7,10 +7,13 @@ package stats
 // rmi.Cluster.LinkStats, the /metrics and /links endpoints, and the
 // rmibench negotiation report.
 type LinkStat struct {
-	From           int   `json:"from"`
-	To             int   `json:"to"`
-	Version        int32 `json:"version"`         // negotiated wire protocol version
-	PeerPlans      int32 `json:"peer_plans"`      // peer's advertised plan generation
-	DemotedClasses int   `json:"demoted_classes"` // classes negotiated down to class-level encoding
-	Fallbacks      int64 `json:"fallbacks"`       // objects written through the demoted path
+	From           int    `json:"from"`
+	To             int    `json:"to"`
+	Version        int32  `json:"version"`         // negotiated wire protocol version
+	PeerPlans      int32  `json:"peer_plans"`      // peer's advertised plan generation
+	DemotedClasses int    `json:"demoted_classes"` // classes negotiated down to class-level encoding
+	Fallbacks      int64  `json:"fallbacks"`       // objects written through the demoted path
+	Caps           uint32 `json:"caps"`            // negotiated capability bits (wire.Cap*)
+	BatchedFrames  int64  `json:"batched_frames"`  // logical frames coalesced into batch containers
+	BatchFlushes   int64  `json:"batch_flushes"`   // batch containers this link put on the wire
 }

@@ -64,6 +64,13 @@ const (
 	PhaseWaitReply
 	// PhaseReplyDeserialize is the caller-side reply unmarshal.
 	PhaseReplyDeserialize
+	// PhaseFutureWait is the window an asynchronous call was in flight
+	// before its caller resolved it: InvokeAsync returning to Wait (or
+	// Done) completing — the overlap the async API bought.
+	PhaseFutureWait
+	// PhasePromiseWait is the callee-side park of a pipelined call
+	// waiting for the promise-table entries its arguments reference.
+	PhasePromiseWait
 
 	// NumPhases is the phase count; valid phases are < NumPhases.
 	NumPhases
@@ -72,7 +79,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"plan_lookup", "serialize", "send", "transit", "dispatch",
 	"deserialize", "execute", "reply_serialize", "reply_transit",
-	"wait_reply", "reply_deserialize",
+	"wait_reply", "reply_deserialize", "future_wait", "promise_wait",
 }
 
 func (p Phase) String() string {

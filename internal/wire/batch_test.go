@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// sealedFrame builds a minimal valid sealed sub-frame for batch tests.
+func sealedFrame(t *testing.T, body []byte) []byte {
+	t.Helper()
+	m := NewMessage(len(body) + ChecksumSize)
+	for _, b := range body {
+		m.AppendByte(b)
+	}
+	m.SealFrame()
+	frame := append([]byte(nil), m.Bytes()...)
+	return frame
+}
+
+func TestBatchEntryRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		sealedFrame(t, []byte{1, 2, 3}),
+		sealedFrame(t, []byte{9}),
+		sealedFrame(t, []byte{0, 0, 0, 0, 7}),
+	}
+	m := NewMessage(256)
+	for i, f := range frames {
+		AppendBatchEntry(m, int64(100+i), int64(200+i), f)
+	}
+	m.Rewind()
+	for i, f := range frames {
+		e, err := ReadBatchEntry(m)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if e.TS != int64(100+i) || e.Wall != int64(200+i) {
+			t.Fatalf("entry %d: ts=%d wall=%d", i, e.TS, e.Wall)
+		}
+		if string(e.Frame) != string(f) {
+			t.Fatalf("entry %d: frame mismatch", i)
+		}
+		if payload, err := Unseal(e.Frame); err != nil {
+			t.Fatalf("entry %d: sub-frame lost its seal: %v", i, err)
+		} else if len(payload) == 0 {
+			t.Fatalf("entry %d: empty payload", i)
+		}
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("%d bytes left after reading all entries", m.Remaining())
+	}
+}
+
+func TestCheckBatchCountRejects(t *testing.T) {
+	m := NewMessage(64)
+	AppendBatchEntry(m, 1, 0, sealedFrame(t, []byte{1, 2, 3}))
+	m.Rewind()
+	for _, count := range []int{0, -1, MaxBatchEntries + 1} {
+		if err := CheckBatchCount(m, count); !errors.Is(err, ErrMalformedFrame) {
+			t.Errorf("count %d: err = %v, want ErrMalformedFrame", count, err)
+		}
+	}
+	// A count the bytes on hand cannot possibly satisfy.
+	if err := CheckBatchCount(m, 3); !errors.Is(err, ErrMalformedFrame) {
+		t.Errorf("overdeclared count: err = %v, want ErrMalformedFrame", err)
+	}
+	if err := CheckBatchCount(m, 1); err != nil {
+		t.Errorf("valid count rejected: %v", err)
+	}
+}
+
+func TestReadBatchEntryRejectsTruncatedAndShort(t *testing.T) {
+	// Truncated container: entry header present, sub-frame bytes cut.
+	m := NewMessage(64)
+	m.AppendInt64(1)
+	m.AppendInt64(2)
+	m.AppendInt32(100) // declares 100 frame bytes; none follow
+	m.Rewind()
+	if _, err := ReadBatchEntry(m); !errors.Is(err, ErrMalformedFrame) {
+		t.Errorf("truncated entry: err = %v, want ErrMalformedFrame", err)
+	}
+
+	// Sub-frame too short to even hold a checksum: structurally invalid
+	// regardless of content.
+	m2 := NewMessage(64)
+	AppendBatchEntry(m2, 1, 2, make([]byte, ChecksumSize))
+	m2.Rewind()
+	if _, err := ReadBatchEntry(m2); !errors.Is(err, ErrMalformedFrame) {
+		t.Errorf("short sub-frame: err = %v, want ErrMalformedFrame", err)
+	}
+}

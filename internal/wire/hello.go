@@ -52,6 +52,27 @@ const (
 	helloEntryMinBytes = 4 + 1 + 8
 )
 
+// Link capability bits, advertised in Hello.Caps. A link runs with the
+// intersection of both sides' capability sets, so an optional protocol
+// feature (promise pipelining, one-way calls, frame batching) is used
+// on a link only when both peers advertise it; a peer that omits a bit
+// — an older build, or a test masking capabilities — demotes the
+// feature on that link without affecting correctness.
+const (
+	// CapPipelining: the peer maintains a per-link promise table and
+	// accepts calls carrying promise-handle sections (callFlagPromised
+	// / callFlagPipelined at the RMI layer).
+	CapPipelining uint32 = 1 << 0
+	// CapOneWay: the peer honors the one-way call flag (executes the
+	// method and suppresses the reply frame).
+	CapOneWay uint32 = 1 << 1
+	// CapBatching: the peer decodes msgBatch container frames.
+	CapBatching uint32 = 1 << 2
+
+	// LocalCaps is the capability set this build advertises.
+	LocalCaps = CapPipelining | CapOneWay | CapBatching
+)
+
 // HelloEntry is one class fingerprint: the class name and the hash of
 // the plan layout the sender compiled for it.
 type HelloEntry struct {
@@ -64,19 +85,21 @@ type HelloEntry struct {
 // order) so two honest peers produce byte-identical tables for
 // identical programs.
 type Hello struct {
-	Version     int32 // wire protocol generation (ProtocolVersion)
-	PlanVersion int32 // sender's plan generation, bumped on recompile
-	Node        int32 // sender's node ID, for observability
+	Version     int32  // wire protocol generation (ProtocolVersion)
+	PlanVersion int32  // sender's plan generation, bumped on recompile
+	Node        int32  // sender's node ID, for observability
+	Caps        uint32 // optional-feature bits (Cap*), intersected per link
 	Entries     []HelloEntry
 }
 
 // EncodeHello serializes h into a standalone (unsealed) HELLO frame.
 func EncodeHello(h *Hello) []byte {
-	m := NewMessage(20 + 24*len(h.Entries))
+	m := NewMessage(24 + 24*len(h.Entries))
 	m.AppendInt32(helloMagic)
 	m.AppendInt32(h.Version)
 	m.AppendInt32(h.PlanVersion)
 	m.AppendInt32(h.Node)
+	m.AppendInt32(int32(h.Caps))
 	m.AppendInt32(int32(len(h.Entries)))
 	for _, e := range h.Entries {
 		m.AppendString(e.Name)
@@ -99,6 +122,7 @@ func DecodeHello(b []byte) (*Hello, error) {
 		PlanVersion: m.ReadInt32(),
 		Node:        m.ReadInt32(),
 	}
+	h.Caps = uint32(m.ReadInt32())
 	n := int(m.ReadInt32())
 	if err := m.Err(); err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ func sampleHello() *Hello {
 		Version:     ProtocolVersion,
 		PlanVersion: 7,
 		Node:        3,
+		Caps:        LocalCaps,
 		Entries: []HelloEntry{
 			{Name: "Base", FP: 0xd10c6d4e7862dc7e},
 			{Name: "Derived1", FP: 0xfc2caa8666b72dcf},
@@ -26,7 +27,7 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Version != h.Version || got.PlanVersion != h.PlanVersion || got.Node != h.Node {
+	if got.Version != h.Version || got.PlanVersion != h.PlanVersion || got.Node != h.Node || got.Caps != h.Caps {
 		t.Fatalf("header round trip: %+v != %+v", got, h)
 	}
 	if len(got.Entries) != len(h.Entries) {
@@ -81,20 +82,20 @@ func TestHelloRejections(t *testing.T) {
 		{"truncated header", valid[:10]},
 		{"negative count", func() []byte {
 			b := append([]byte(nil), valid...)
-			le.PutUint32(b[16:], 0xffffffff)
+			le.PutUint32(b[20:], 0xffffffff)
 			return b
 		}()},
 		{"count over cap", func() []byte {
 			b := append([]byte(nil), valid...)
-			le.PutUint32(b[16:], MaxHelloEntries+1)
+			le.PutUint32(b[20:], MaxHelloEntries+1)
 			return b
 		}()},
-		// The allocation attack: a 24-byte frame declaring a full table.
-		// The count×minBytes bound must reject it before the table is
-		// allocated.
+		// The allocation attack: a header-only frame declaring a full
+		// table. The count×minBytes bound must reject it before the
+		// table is allocated.
 		{"count exceeds payload", func() []byte {
-			b := append([]byte(nil), valid[:20]...)
-			le.PutUint32(b[16:], MaxHelloEntries)
+			b := append([]byte(nil), valid[:24]...)
+			le.PutUint32(b[20:], MaxHelloEntries)
 			return b
 		}()},
 		{"truncated mid-entry", valid[:len(valid)-5]},
@@ -120,8 +121,8 @@ func TestHelloRejections(t *testing.T) {
 // tiny frame declaring a huge table must be rejected with O(1)
 // allocations, not after materializing the declared size.
 func TestHelloAllocationBound(t *testing.T) {
-	b := EncodeHello(sampleHello())[:20]
-	binary.LittleEndian.PutUint32(b[16:], MaxHelloEntries)
+	b := EncodeHello(sampleHello())[:24]
+	binary.LittleEndian.PutUint32(b[20:], MaxHelloEntries)
 	allocs := testing.AllocsPerRun(100, func() {
 		if _, err := DecodeHello(b); err == nil {
 			t.Fatal("hostile hello decoded")
