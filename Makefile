@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async fuzz
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async verify-attrib fuzz
 
 verify:
 	go vet ./...
@@ -13,6 +13,7 @@ verify:
 	$(MAKE) explain-smoke
 	$(MAKE) verify-precision
 	$(MAKE) verify-async
+	$(MAKE) verify-attrib
 	$(MAKE) fuzz
 
 test:
@@ -49,6 +50,19 @@ verify-precision:
 # its waiter and a duplicated one cannot double-splice a promise.
 verify-async:
 	go test -race -count=1 -run 'TestChaosAsync' ./internal/harness
+
+# Attribution gate: always-on tail-latency attribution must keep the
+# traced hot path within its allocation budget with exemplar capture
+# armed but not firing (the threshold floor is set astronomically high,
+# so the armed comparison runs on every close and never trips); the
+# log2 histogram merge must stay exact under the commutativity /
+# associativity / quantile-preservation property tests; and the 3-node
+# cluster scenario must blame the slow executor's execute phase and
+# capture at least one slow-call exemplar through the real HTTP
+# /snapshot -> /cluster pull path.
+verify-attrib:
+	go test -count=1 -run 'TestAttributionSteadyStateAllocs' ./internal/apps/micro
+	go test -count=1 -run 'TestMerge|TestRunAttribBlamesSlowExecutor' ./internal/metrics ./internal/harness
 
 # Short native-fuzzing pass over the two adversarial decode surfaces:
 # the HELLO handshake decoder and the value/reference payload decoder.

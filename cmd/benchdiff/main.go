@@ -90,6 +90,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// The attribution section asserts structural invariants of the
+	// cluster tail-latency view (sites present, monotone quantiles, a
+	// dominant blame phase, exemplars still captured).
+	if regs := harness.CompareAttribution(base, cur); len(regs) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d attribution invariant failure(s) vs %s:\n", len(regs), fs.Arg(0))
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	}
+
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), fs.Arg(0))
 		for _, r := range regs {

@@ -73,6 +73,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "fault injection seed")
 	obsAddr := flag.String("obs", "", "serve observability endpoints (/metrics, /trace, /debug/pprof, /healthz) on this address, e.g. :9090")
 	obsSmoke := flag.Bool("obs-smoke", false, "probe the -obs endpoints after the run and exit nonzero on failure")
+	obsName := flag.String("obs-name", "rminode", "node name in /snapshot and /cluster documents")
+	obsPeers := flag.String("obs-peers", "", "comma-separated peer obs addresses that /cluster merges by default")
 	flag.Parse()
 
 	faultCfg := transport.FaultConfig{
@@ -133,18 +135,38 @@ func main() {
 		}
 		return out
 	}
+	// Backlog levels aggregate across the per-level clusters the same
+	// way /callsites does: field-wise sums of each cluster's snapshot.
+	overload := func() stats.OverloadStats {
+		csMu.Lock()
+		defer csMu.Unlock()
+		var o stats.OverloadStats
+		for _, c := range clusters {
+			o = o.Add(c.Overload())
+		}
+		return o
+	}
 	if *obsSmoke && *obsAddr == "" {
 		*obsAddr = "127.0.0.1:0"
 	}
 	if *obsAddr != "" {
 		tracer = trace.New(trace.Config{RingSize: 4096})
 		var err error
-		server, err = obs.Serve(*obsAddr, obs.Options{Tracer: tracer, SiteStats: siteStats, Links: linkStats})
+		var peers []string
+		for _, p := range strings.Split(*obsPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		server, err = obs.Serve(*obsAddr, obs.Options{
+			Tracer: tracer, SiteStats: siteStats, Links: linkStats,
+			NodeName: *obsName, Peers: peers, Overload: overload,
+		})
 		if err != nil {
 			fail(err)
 		}
 		defer server.Close()
-		fmt.Printf("observability endpoints on http://%s (/metrics /callsites /trace /trace/stats /debug/pprof /buildinfo /healthz)\n", server.Addr())
+		fmt.Printf("observability endpoints on http://%s (/metrics /callsites /trace /trace/stats /slow /snapshot /cluster /debug/pprof /buildinfo /healthz)\n", server.Addr())
 	}
 
 	for _, level := range rmi.AllLevels {
@@ -224,7 +246,7 @@ func main() {
 		if err := smokeObs("http://"+server.Addr(), int64(*sends)); err != nil {
 			fail(fmt.Errorf("obs smoke: %w", err))
 		}
-		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /links, /buildinfo and /trace all served valid payloads")
+		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /links, /buildinfo, /trace, /snapshot, /cluster and /slow all served valid payloads")
 	}
 }
 
@@ -263,12 +285,18 @@ func smokeObs(base string, sends int64) error {
 	}
 	for _, series := range []string{
 		"cormi_trace_spans_started_total",
+		"cormi_trace_exemplars_total",
 		"cormi_wire_buf_outstanding",
 		"cormi_serial_readctx_outstanding",
 		"cormi_phase_latency_ns_bucket",
+		"cormi_pending_calls",
+		"cormi_promise_table",
+		"cormi_promise_parked",
+		"cormi_batch_queue_depth",
 		`cormi_site_calls{site="Main.main.1"}`,
 		`cormi_site_wire_bytes{site="Main.main.1"}`,
 		`cormi_link_negotiated_version{from="0",to="1"}`,
+		`cormi_blame_wins_total{site="Main.main.1"`,
 	} {
 		if !strings.Contains(body, series) {
 			return fmt.Errorf("/metrics missing series %s", series)
@@ -347,8 +375,63 @@ func smokeObs(base string, sends int64) error {
 	if len(doc.TraceEvents) == 0 {
 		return fmt.Errorf("/trace has no events after %d traced levels", len(rmi.AllLevels))
 	}
+
+	body, err = get("/snapshot")
+	if err != nil {
+		return err
+	}
+	var snap obs.NodeSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		return fmt.Errorf("/snapshot is not valid JSON: %w", err)
+	}
+	if snap.Version != obs.SnapshotVersion {
+		return fmt.Errorf("/snapshot version %d, want %d", snap.Version, obs.SnapshotVersion)
+	}
+	var attributed bool
+	for _, sa := range snap.Sites {
+		if sa.Site == "Main.main.1" && sa.Calls > 0 && len(sa.Blame) > 0 {
+			attributed = true
+		}
+	}
+	if !attributed {
+		return fmt.Errorf("/snapshot missing Main.main.1 attribution: %s", body)
+	}
+
+	body, err = get("/cluster")
+	if err != nil {
+		return err
+	}
+	var cv obs.ClusterView
+	if err := json.Unmarshal([]byte(body), &cv); err != nil {
+		return fmt.Errorf("/cluster is not valid JSON: %w", err)
+	}
+	if cv.Version != obs.SnapshotVersion || len(cv.Nodes) == 0 {
+		return fmt.Errorf("/cluster document malformed: %s", body)
+	}
+	var clustered bool
+	for _, row := range cv.Sites {
+		if row.Site == "Main.main.1" && row.Calls == uint64(sends)*int64Len(rmi.AllLevels) &&
+			row.P50NS > 0 && row.TopBlame != "" {
+			clustered = true
+		}
+	}
+	if !clustered {
+		return fmt.Errorf("/cluster missing a merged Main.main.1 row with quantiles and blame: %s", body)
+	}
+
+	body, err = get("/slow")
+	if err != nil {
+		return err
+	}
+	var exs []trace.Exemplar
+	if err := json.Unmarshal([]byte(body), &exs); err != nil {
+		return fmt.Errorf("/slow is not valid JSON: %w", err)
+	}
 	return nil
 }
+
+// int64Len is len() as uint64 for call-count arithmetic.
+func int64Len[T any](s []T) uint64 { return uint64(len(s)) }
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "rminode: %v\n", err)

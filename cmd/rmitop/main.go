@@ -1,0 +1,153 @@
+// Command rmitop is a live terminal view of cluster-wide tail-latency
+// attribution: it polls one obs server's /cluster endpoint (which
+// merges every peer's /snapshot) and renders a top-style table of
+// sites × {call rate, p50, p99, dominant blame phase, exemplars}.
+//
+// Usage:
+//
+//	rmitop -cluster 127.0.0.1:9090                  # poll every 2s
+//	rmitop -cluster 127.0.0.1:9090 -peers a:1,b:2   # override the
+//	                       # aggregator's configured peer set
+//	rmitop -cluster 127.0.0.1:9090 -once            # one frame, exit
+//	                       # (scripting / smoke tests)
+//
+// The rate column derives from call-count deltas between polls, so the
+// first frame shows "-". Slow-call exemplars are counted per site; pull
+// the span trees themselves from the owning node's /slow endpoint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"cormi/internal/obs"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main minus the process exit, so tests can drive the CLI
+// against an httptest server. Exit codes: 0 clean, 1 poll failure (in
+// -once / -frames mode), 2 usage.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmitop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cluster := fs.String("cluster", "127.0.0.1:9090", "aggregating node's obs address (host:port or URL)")
+	peers := fs.String("peers", "", "comma-separated peer obs addresses (overrides the node's configured set)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "render one frame and exit")
+	frames := fs.Int("frames", 0, "frames to render before exiting (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	target := *cluster
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	target = strings.TrimRight(target, "/") + "/cluster"
+	if *peers != "" {
+		target += "?peers=" + url.QueryEscape(*peers)
+	}
+
+	limit := *frames
+	if *once {
+		limit = 1
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	prevCalls := map[string]uint64{}
+	var prevAt time.Time
+	for i := 0; limit == 0 || i < limit; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cv, err := fetchView(client, target)
+		if err != nil {
+			fmt.Fprintf(stderr, "rmitop: %v\n", err)
+			if limit > 0 {
+				return 1
+			}
+			continue
+		}
+		if limit == 0 {
+			// Interactive top-style refresh: clear and home.
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H")
+		}
+		now := time.Now()
+		render(stdout, cv, prevCalls, now.Sub(prevAt), !prevAt.IsZero())
+		next := make(map[string]uint64, len(cv.Sites))
+		for _, s := range cv.Sites {
+			next[s.Site] = s.Calls
+		}
+		prevCalls, prevAt = next, now
+	}
+	return 0
+}
+
+// fetchView pulls and decodes one /cluster document.
+func fetchView(client *http.Client, target string) (*obs.ClusterView, error) {
+	resp, err := client.Get(target)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", target, resp.StatusCode)
+	}
+	var cv obs.ClusterView
+	if err := json.NewDecoder(resp.Body).Decode(&cv); err != nil {
+		return nil, fmt.Errorf("decode cluster view: %w", err)
+	}
+	if cv.Version != obs.SnapshotVersion {
+		return nil, fmt.Errorf("cluster view version %d, want %d", cv.Version, obs.SnapshotVersion)
+	}
+	return &cv, nil
+}
+
+// render writes one frame: the node roster, any peer errors, and the
+// per-site attribution table.
+func render(w io.Writer, cv *obs.ClusterView, prevCalls map[string]uint64, dt time.Duration, haveRate bool) {
+	fmt.Fprintf(w, "rmitop — %d node(s): %s\n", len(cv.Nodes), strings.Join(cv.Nodes, ", "))
+	for _, e := range cv.Errors {
+		fmt.Fprintf(w, "  peer error: %s\n", e)
+	}
+	fmt.Fprintf(w, "%-28s %10s %9s %10s %10s %-14s %6s %9s\n",
+		"site", "calls", "rate/s", "p50", "p99", "top_blame", "share", "exemplars")
+	for _, s := range cv.Sites {
+		rate := "-"
+		if haveRate && dt > 0 {
+			if prev, ok := prevCalls[s.Site]; ok {
+				rate = fmt.Sprintf("%.1f", float64(s.Calls-prev)/dt.Seconds())
+			}
+		}
+		blame := s.TopBlame
+		if blame == "" {
+			blame = "-"
+		}
+		fmt.Fprintf(w, "%-28s %10d %9s %10s %10s %-14s %5.0f%% %9d\n",
+			s.Site, s.Calls, rate, fmtNS(s.P50NS), fmtNS(s.P99NS),
+			blame, 100*s.TopBlameShare, s.Exemplars)
+	}
+}
+
+// fmtNS renders nanoseconds at human scale.
+func fmtNS(ns int64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cormi/internal/obs"
+	"cormi/internal/trace"
+)
+
+// fakeCluster serves a /cluster document whose call count grows by
+// step per request, so the rate column has something to measure.
+func fakeCluster(t *testing.T, step uint64) *httptest.Server {
+	t.Helper()
+	var polls atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		n := polls.Add(1)
+		cv := obs.ClusterView{
+			Version: obs.SnapshotVersion,
+			Nodes:   []string{"n0", "n1", "n2"},
+			Sites: []obs.ClusterSite{{
+				Site:          "Attrib.echo.1",
+				Calls:         step * n,
+				P50NS:         1_200_000,
+				P95NS:         4_000_000,
+				P99NS:         9_500_000,
+				TopBlame:      "execute",
+				TopBlameShare: 0.85,
+				Blame:         []trace.BlamePhase{{Phase: "execute", Wins: 10, SelfNS: 1000}},
+				Exemplars:     3,
+			}},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(cv)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOnceRendersClusterTable(t *testing.T) {
+	srv := fakeCluster(t, 100)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", srv.URL, "-once"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 node(s): n0, n1, n2",
+		"Attrib.echo.1",
+		"1.20ms",  // p50
+		"9.50ms",  // p99
+		"execute", // top blame
+		"85%",
+		"3", // exemplars
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\x1b[2J") {
+		t.Error("-once frame should not clear the screen")
+	}
+}
+
+func TestRateFromCallDeltas(t *testing.T) {
+	srv := fakeCluster(t, 500)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", srv.URL, "-frames", "2", "-interval", "10ms"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	frames := strings.Split(out.String(), "rmitop — ")
+	if len(frames) != 3 { // leading empty + two frames
+		t.Fatalf("expected 2 frames, got %d:\n%s", len(frames)-1, out.String())
+	}
+	if !strings.Contains(frames[1], " - ") {
+		t.Errorf("first frame should show no rate:\n%s", frames[1])
+	}
+	// Second frame: 500 new calls over ~10ms >> 0/s.
+	if strings.Contains(frames[2], " - ") || !strings.Contains(frames[2], ".") {
+		t.Errorf("second frame missing a computed rate:\n%s", frames[2])
+	}
+}
+
+func TestPollFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", "127.0.0.1:1", "-once"}, &out, &errb); code != 1 {
+		t.Fatalf("run against dead server = %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("no error reported for dead server")
+	}
+}
+
+func TestVersionSkewRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(obs.ClusterView{Version: obs.SnapshotVersion + 1})
+	}))
+	t.Cleanup(srv.Close)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", srv.URL, "-once"}, &out, &errb); code != 1 {
+		t.Fatalf("run against skewed version = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "version") {
+		t.Errorf("skew error not reported: %s", errb.String())
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	for ns, want := range map[int64]string{
+		0:             "-",
+		512:           "512ns",
+		1_500:         "1.5µs",
+		2_340_000:     "2.34ms",
+		3_200_000_000: "3.20s",
+	} {
+		if got := fmtNS(ns); got != want {
+			t.Errorf("fmtNS(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

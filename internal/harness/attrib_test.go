@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The acceptance scenario for cluster-wide attribution: three nodes,
+// one slow executor, aggregated over real HTTP. The merged row must
+// carry every node's calls, monotone quantiles, blame shifted to
+// execute by the slow node, and at least one captured exemplar.
+func TestRunAttribBlamesSlowExecutor(t *testing.T) {
+	spec := AttribSpec{Nodes: 3, Sends: 16, SlowNode: 2, SlowDelay: time.Millisecond, Spikes: 2, Warmup: 6}
+	rows, err := RunAttrib(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row *AttribRow
+	for i := range rows {
+		if rows[i].Site == attribSite {
+			row = &rows[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no %s row in %+v", attribSite, rows)
+	}
+	if want := uint64(spec.Nodes * spec.Sends); row.Calls != want {
+		t.Errorf("merged calls = %d, want %d", row.Calls, want)
+	}
+	if row.P50NS <= 0 || row.P50NS > row.P95NS || row.P95NS > row.P99NS {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", row.P50NS, row.P95NS, row.P99NS)
+	}
+	// The slow node's 10x spikes put the cluster p99 at sleep scale.
+	if row.P99NS < int64(spec.SlowDelay) {
+		t.Errorf("cluster p99 = %dns, below the slow executor's %v sleep", row.P99NS, spec.SlowDelay)
+	}
+	if row.TopBlame != "execute" {
+		t.Errorf("top blame = %q (share %.2f), want execute", row.TopBlame, row.TopBlameShare)
+	}
+	if row.TopBlameShare <= 0.5 {
+		t.Errorf("execute blame share = %.2f, want dominant (> 0.5)", row.TopBlameShare)
+	}
+	if row.Exemplars < 1 {
+		t.Errorf("exemplars = %d, want >= 1 (spikes cross the armed threshold)", row.Exemplars)
+	}
+
+	out := FormatAttrib(rows)
+	for _, want := range []string{attribSite, "top_blame", "execute"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatAttrib missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareAttribution(t *testing.T) {
+	base := &BenchReport{Attribution: []AttribRow{{
+		Site: attribSite, Calls: 48, P50NS: 1000, P95NS: 2000, P99NS: 3000,
+		TopBlame: "execute", TopBlameShare: 0.9, Exemplars: 2,
+	}}}
+	good := &BenchReport{Attribution: []AttribRow{{
+		Site: attribSite, Calls: 10, P50NS: 500, P95NS: 900, P99NS: 4000,
+		TopBlame: "execute", TopBlameShare: 0.8, Exemplars: 1,
+	}}}
+	if regs := CompareAttribution(base, good); len(regs) != 0 {
+		t.Errorf("good report flagged: %v", regs)
+	}
+
+	// Either side missing the section compares empty (old baselines).
+	if regs := CompareAttribution(&BenchReport{}, good); regs != nil {
+		t.Errorf("missing base section flagged: %v", regs)
+	}
+	if regs := CompareAttribution(base, &BenchReport{}); regs != nil {
+		t.Errorf("missing cur section flagged: %v", regs)
+	}
+
+	bad := &BenchReport{Attribution: []AttribRow{{
+		Site: attribSite, Calls: 0, P50NS: 3000, P95NS: 2000, P99NS: 1000,
+		TopBlame: "", Exemplars: 0,
+	}}}
+	regs := CompareAttribution(base, bad)
+	for _, want := range []string{"no calls", "not monotone", "no dominant blame", "no exemplars"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CompareAttribution missed %q in %v", want, regs)
+		}
+	}
+	if regs := CompareAttribution(base, &BenchReport{Attribution: []AttribRow{{Site: "other"}}}); len(regs) == 0 ||
+		!strings.Contains(regs[0], "missing") {
+		t.Errorf("missing site not flagged: %v", regs)
+	}
+}

@@ -100,6 +100,49 @@ func CompareChain(base, cur *BenchReport) []string {
 	return lines
 }
 
+// CompareAttribution gates the cluster-attribution section. As with
+// CompareChain these are structural invariants, not toleranced wall-
+// clock comparisons (the scenario's latencies are real sleeps and
+// therefore noisy): every site the baseline attributed must still be
+// present with calls recorded, monotone quantiles, a dominant blame
+// phase, and — when the baseline captured slow-call exemplars — at
+// least one exemplar. Either report missing the section (old
+// baselines) compares empty.
+func CompareAttribution(base, cur *BenchReport) []string {
+	if len(base.Attribution) == 0 || len(cur.Attribution) == 0 {
+		return nil
+	}
+	bySite := map[string]*AttribRow{}
+	for i := range cur.Attribution {
+		bySite[cur.Attribution[i].Site] = &cur.Attribution[i]
+	}
+	var lines []string
+	for i := range base.Attribution {
+		b := &base.Attribution[i]
+		c, ok := bySite[b.Site]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("attribution: site %s missing from new report", b.Site))
+			continue
+		}
+		if c.Calls == 0 {
+			lines = append(lines, fmt.Sprintf("attribution: %s recorded no calls", c.Site))
+		}
+		if c.P50NS <= 0 || c.P50NS > c.P95NS || c.P95NS > c.P99NS {
+			lines = append(lines, fmt.Sprintf(
+				"attribution: %s quantiles not monotone: p50=%d p95=%d p99=%d",
+				c.Site, c.P50NS, c.P95NS, c.P99NS))
+		}
+		if c.TopBlame == "" {
+			lines = append(lines, fmt.Sprintf("attribution: %s has no dominant blame phase", c.Site))
+		}
+		if b.Exemplars > 0 && c.Exemplars == 0 {
+			lines = append(lines, fmt.Sprintf(
+				"attribution: %s captured no exemplars (baseline had %d)", c.Site, b.Exemplars))
+		}
+	}
+	return lines
+}
+
 // DecisionCounts are the verdict totals of one optimizer decision
 // report: live call sites, elided cycle checks (argument and return
 // directions both count), and buffer-reuse grants (arguments and

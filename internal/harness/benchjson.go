@@ -63,6 +63,12 @@ type BenchReport struct {
 	// pipelined and batched modes. Optional section: benchdiff gates on
 	// it only when both reports carry it.
 	Chain []ChainRow `json:"chain,omitempty"`
+	// Attribution holds the cluster-wide tail-latency scenario
+	// (attrib.go): merged per-site quantiles, the dominant blame phase,
+	// and the captured exemplar count from a 3-node obs cluster with a
+	// slow executor. Optional section, gated by benchdiff only when
+	// both reports carry it.
+	Attribution []AttribRow `json:"attribution,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -248,6 +254,11 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		}
 		report.Chain = rows
 	}
+	attrib, err := RunAttrib(DefaultAttribSpec())
+	if err != nil {
+		return nil, err
+	}
+	report.Attribution = attrib
 	return report, nil
 }
 

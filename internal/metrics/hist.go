@@ -126,6 +126,22 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	return float64(BucketUpper(NumBuckets - 1))
 }
 
+// Merge returns the element-wise sum of two snapshots. Because buckets
+// are fixed log2 ranges shared by every histogram, merging is exact:
+// recording a value stream into one histogram and recording a split of
+// the same stream into two histograms then merging yield identical
+// snapshots (same buckets, sum, total — hence identical quantiles).
+// This is the basis of cluster-wide aggregation: nodes ship snapshots
+// and any collector folds them without loss.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+	s.Total += o.Total
+	return s
+}
+
 // Quantile is Snapshot().Quantile for one-off reads; take an explicit
 // Snapshot to derive several quantiles consistently.
 func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }

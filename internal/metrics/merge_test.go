@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSnapshot builds a snapshot with small bucket counts, the regime
+// where off-by-one merge bugs would be visible in quantiles.
+func randSnapshot(rng *rand.Rand) HistSnapshot {
+	var s HistSnapshot
+	populated := rng.Intn(8)
+	for i := 0; i < populated; i++ {
+		b := rng.Intn(NumBuckets)
+		c := uint64(rng.Intn(5))
+		s.Buckets[b] += c
+		s.Total += c
+		// A representative value inside the bucket keeps Sum plausible.
+		s.Sum += int64(c) * (BucketUpper(b) / 2)
+	}
+	return s
+}
+
+func snapshotsEqual(a, b HistSnapshot) bool {
+	if a.Sum != b.Sum || a.Total != b.Total {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randSnapshot(rng), randSnapshot(rng)
+		if !snapshotsEqual(a.Merge(b), b.Merge(a)) {
+			t.Fatalf("trial %d: a.Merge(b) != b.Merge(a)\na=%+v\nb=%+v", trial, a, b)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randSnapshot(rng), randSnapshot(rng), randSnapshot(rng)
+		if !snapshotsEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+			t.Fatalf("trial %d: (a+b)+c != a+(b+c)", trial)
+		}
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var zero HistSnapshot
+	for trial := 0; trial < 50; trial++ {
+		a := randSnapshot(rng)
+		if !snapshotsEqual(a.Merge(zero), a) {
+			t.Fatalf("trial %d: a.Merge(zero) != a", trial)
+		}
+	}
+}
+
+func TestMergeDoesNotMutateReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randSnapshot(rng), randSnapshot(rng)
+	aCopy, bCopy := a, b
+	_ = a.Merge(b)
+	if !snapshotsEqual(a, aCopy) || !snapshotsEqual(b, bCopy) {
+		t.Fatal("Merge mutated one of its operands")
+	}
+}
+
+// TestMergeEqualsSingleHistogram is the core exactness property: a
+// value stream split across N histograms and merged is byte-identical
+// to the same stream recorded into one histogram — counts, sums, and
+// therefore every quantile agree exactly, not approximately.
+func TestMergeEqualsSingleHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var whole Histogram
+		parts := make([]Histogram, 1+rng.Intn(4))
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Spread values across the full bucket range, including the
+			// clamp-to-zero and top-bucket edges.
+			v := int64(0)
+			switch rng.Intn(4) {
+			case 0:
+				v = int64(rng.Intn(3)) - 1 // -1, 0, 1: the clamp edge
+			case 1:
+				v = rng.Int63n(1 << 20)
+			case 2:
+				v = rng.Int63n(1 << 40)
+			case 3:
+				v = rng.Int63() // up to the top bucket
+			}
+			whole.Observe(v)
+			parts[rng.Intn(len(parts))].Observe(v)
+		}
+		var merged HistSnapshot
+		for i := range parts {
+			merged = merged.Merge(parts[i].Snapshot())
+		}
+		want := whole.Snapshot()
+		if !snapshotsEqual(merged, want) {
+			t.Fatalf("trial %d: merged parts != whole\nmerged=%+v\nwhole=%+v", trial, merged, want)
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got, want := merged.Quantile(q), want.Quantile(q); got != want {
+				t.Fatalf("trial %d: Quantile(%g) merged=%g whole=%g", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// FuzzMergeSmallVectors drives Merge with adversarial small bucket
+// vectors: the fuzzer controls bucket placement directly (not via
+// Observe), so degenerate shapes — single-bucket spikes, top-bucket
+// mass, empty operands — are all reachable.
+func FuzzMergeSmallVectors(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(2), uint8(3), uint8(4), uint8(5))
+	f.Add(uint8(43), uint8(43), uint8(0), uint8(0), uint8(7), uint8(9))
+	f.Fuzz(func(t *testing.T, b0, c0, b1, c1, b2, c2 uint8) {
+		mk := func(bucket, count uint8) HistSnapshot {
+			var s HistSnapshot
+			b := int(bucket) % NumBuckets
+			c := uint64(count)
+			s.Buckets[b] = c
+			s.Total = c
+			s.Sum = int64(c) * (BucketUpper(b) / 2)
+			return s
+		}
+		a, b, c := mk(b0, c0), mk(b1, c1), mk(b2, c2)
+		if !snapshotsEqual(a.Merge(b), b.Merge(a)) {
+			t.Fatal("not commutative")
+		}
+		if !snapshotsEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+			t.Fatal("not associative")
+		}
+		m := a.Merge(b).Merge(c)
+		if m.Total != a.Total+b.Total+c.Total {
+			t.Fatalf("total %d != %d", m.Total, a.Total+b.Total+c.Total)
+		}
+		if m.Sum != a.Sum+b.Sum+c.Sum {
+			t.Fatalf("sum %d != %d", m.Sum, a.Sum+b.Sum+c.Sum)
+		}
+		if m.Total > 0 {
+			// Quantiles of a merge stay inside the value range the
+			// populated buckets span.
+			hi := float64(0)
+			for i := NumBuckets - 1; i >= 0; i-- {
+				if m.Buckets[i] > 0 {
+					hi = float64(BucketUpper(i))
+					break
+				}
+			}
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				if v := m.Quantile(q); v < 0 || v > hi {
+					t.Fatalf("Quantile(%g)=%g outside [0,%g]", q, v, hi)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package obs
+
+// Cluster-wide tail-latency aggregation (DESIGN.md §14).
+//
+// Every obs server exposes its node's attribution state at /snapshot —
+// a versioned, self-contained document whose log2 histograms merge
+// exactly. /cluster is the fold: it pulls peer snapshots (the
+// configured Options.Peers, or a ?peers=a,b,c override), merges them
+// with trace.MergeAttributions, and serves the derived per-site
+// quantiles and blame table. Any node can aggregate; there is no
+// coordinator role, only the pull.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"cormi/internal/trace"
+)
+
+// SnapshotVersion is the /snapshot document version. A collector must
+// reject snapshots with a different version rather than merge
+// incompatible histograms.
+const SnapshotVersion = 1
+
+// NodeSnapshot is one node's attribution state: the /snapshot wire
+// document.
+type NodeSnapshot struct {
+	Version        int                     `json:"version"`
+	Node           string                  `json:"node"`
+	CapturedWallNS int64                   `json:"captured_wall_ns"`
+	Sites          []trace.SiteAttribution `json:"sites"`
+}
+
+// ClusterSite is one site's cluster-wide row: merged call count,
+// latency quantiles from the merged histogram, and the blame table
+// with its dominant phase. This is what rmitop renders.
+type ClusterSite struct {
+	Site          string             `json:"site"`
+	Calls         uint64             `json:"calls"`
+	MeanNS        float64            `json:"mean_ns"`
+	P50NS         int64              `json:"p50_ns"`
+	P95NS         int64              `json:"p95_ns"`
+	P99NS         int64              `json:"p99_ns"`
+	TopBlame      string             `json:"top_blame,omitempty"`
+	TopBlameShare float64            `json:"top_blame_share,omitempty"`
+	Blame         []trace.BlamePhase `json:"blame,omitempty"`
+	Exemplars     int64              `json:"exemplars"`
+}
+
+// ClusterView is the /cluster document: the merged view over the local
+// node and every reachable peer. Unreachable or version-skewed peers
+// are reported in Errors and excluded from the merge rather than
+// failing the whole view.
+type ClusterView struct {
+	Version        int           `json:"version"`
+	CapturedWallNS int64         `json:"captured_wall_ns"`
+	Nodes          []string      `json:"nodes"`
+	Errors         []string      `json:"errors,omitempty"`
+	Sites          []ClusterSite `json:"sites"`
+}
+
+// localSnapshot builds this node's /snapshot document. Nil-tracer safe:
+// a metrics-only node contributes its name and no sites.
+func localSnapshot(opts Options) NodeSnapshot {
+	node := opts.NodeName
+	if node == "" {
+		node = "local"
+	}
+	sites := opts.Tracer.Attribution()
+	if sites == nil {
+		sites = []trace.SiteAttribution{}
+	}
+	return NodeSnapshot{
+		Version:        SnapshotVersion,
+		Node:           node,
+		CapturedWallNS: trace.Now(),
+		Sites:          sites,
+	}
+}
+
+// peerSnapshotURL accepts "host:port" or a full URL and returns the
+// peer's /snapshot endpoint.
+func peerSnapshotURL(peer string) string {
+	if !strings.Contains(peer, "://") {
+		peer = "http://" + peer
+	}
+	return strings.TrimRight(peer, "/") + "/snapshot"
+}
+
+// fetchSnapshot pulls and decodes one peer's /snapshot.
+func fetchSnapshot(client *http.Client, peer string) (NodeSnapshot, error) {
+	var ns NodeSnapshot
+	resp, err := client.Get(peerSnapshotURL(peer))
+	if err != nil {
+		return ns, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ns, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ns); err != nil {
+		return ns, fmt.Errorf("decode snapshot: %w", err)
+	}
+	if ns.Version != SnapshotVersion {
+		return ns, fmt.Errorf("snapshot version %d, want %d", ns.Version, SnapshotVersion)
+	}
+	return ns, nil
+}
+
+// buildClusterView merges the local snapshot with every peer's. Peers
+// must not include the serving node itself (its state is the local
+// contribution; listing it would double-count).
+func buildClusterView(opts Options, peers []string) ClusterView {
+	local := localSnapshot(opts)
+	v := ClusterView{
+		Version:        SnapshotVersion,
+		CapturedWallNS: local.CapturedWallNS,
+		Nodes:          []string{local.Node},
+	}
+	groups := [][]trace.SiteAttribution{local.Sites}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, p := range peers {
+		ns, err := fetchSnapshot(client, p)
+		if err != nil {
+			v.Errors = append(v.Errors, fmt.Sprintf("%s: %v", p, err))
+			continue
+		}
+		name := ns.Node
+		if name == "" || name == "local" {
+			name = p
+		}
+		v.Nodes = append(v.Nodes, name)
+		groups = append(groups, ns.Sites)
+	}
+	v.Sites = clusterSites(trace.MergeAttributions(groups...))
+	return v
+}
+
+// clusterSites derives the rendered per-site rows from a merged
+// attribution snapshot: quantiles interpolate within the merged log2
+// buckets, the blame table carries over, and TopBlame picks the
+// dominant phase by accumulated self time.
+func clusterSites(merged []trace.SiteAttribution) []ClusterSite {
+	out := make([]ClusterSite, 0, len(merged))
+	for i := range merged {
+		sa := &merged[i]
+		cs := ClusterSite{
+			Site:      sa.Site,
+			Calls:     sa.Calls,
+			Blame:     sa.Blame,
+			Exemplars: sa.Exemplars,
+		}
+		if sa.Total.Total > 0 {
+			cs.MeanNS = float64(sa.Total.Sum) / float64(sa.Total.Total)
+			cs.P50NS = int64(sa.Total.Quantile(0.50))
+			cs.P95NS = int64(sa.Total.Quantile(0.95))
+			cs.P99NS = int64(sa.Total.Quantile(0.99))
+		}
+		cs.TopBlame, cs.TopBlameShare = sa.TopBlame()
+		out = append(out, cs)
+	}
+	return out
+}
+
+// splitPeers parses a ?peers=a,b,c override.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

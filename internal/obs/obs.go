@@ -53,6 +53,19 @@ type Options struct {
 	// Cluster.LinkStats, or an aggregation across clusters). Only links
 	// that have completed their HELLO exchange appear.
 	Links func() []stats.LinkStat
+	// NodeName identifies this node in /snapshot and /cluster documents
+	// ("local" when empty).
+	NodeName string
+	// Peers lists the other nodes' obs addresses ("host:port" or full
+	// URL) that /cluster pulls /snapshot from by default; a request's
+	// ?peers=a,b,c query overrides the list. Must not include this
+	// node's own address (the local state is always merged in).
+	Peers []string
+	// Overload supplies the backlog levels exposed as the
+	// cormi_pending_calls / cormi_promise_table / cormi_promise_parked /
+	// cormi_batch_queue_depth gauges (typically Cluster.Overload, or an
+	// aggregation across clusters).
+	Overload func() stats.OverloadStats
 }
 
 // Server is a running introspection endpoint.
@@ -90,6 +103,9 @@ func NewServer(opts Options) *Server {
 	}
 	if opts.Links != nil {
 		registerLinkVecs(reg, opts.Links)
+	}
+	if opts.Overload != nil {
+		registerOverloadGauges(reg, opts.Overload)
 	}
 
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +165,48 @@ func NewServer(opts Options) *Server {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(ls)
+	})
+	s.mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "tracing off: no tracer attached", http.StatusNotFound)
+			return
+		}
+		exs := opts.Tracer.Slow()
+		if exs == nil {
+			exs = []trace.Exemplar{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(exs)
+	})
+	s.mux.HandleFunc("/slow/trace", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "tracing off: no tracer attached", http.StatusNotFound)
+			return
+		}
+		var spans []trace.SpanRecord
+		for _, ex := range opts.Tracer.Slow() {
+			spans = append(spans, ex.Spans...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, spans, "slow")
+	})
+	s.mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(localSnapshot(opts))
+	})
+	s.mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		peers := opts.Peers
+		if q := r.URL.Query().Get("peers"); q != "" {
+			peers = splitPeers(q)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildClusterView(opts, peers))
 	})
 	s.mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -349,6 +407,51 @@ func registerTracerGauges(reg *metrics.Registry, tr *trace.Tracer) {
 		func() float64 { return float64(tr.SpansStarted()) })
 	reg.RegisterGauge("cormi_trace_failures_total", "failed spans closed",
 		func() float64 { return float64(tr.Failures()) })
+	reg.RegisterGauge("cormi_trace_exemplars_total", "slow-call exemplars captured past the adaptive p99 threshold",
+		func() float64 { return float64(tr.Exemplars()) })
+	registerBlameVecs(reg, tr)
+}
+
+// registerBlameVecs exposes the per-(site, phase) blame counters: how
+// many spans each phase dominated and its accumulated self time — the
+// always-on attribution the cluster blame table is built from.
+func registerBlameVecs(reg *metrics.Registry, tr *trace.Tracer) {
+	collect := func(value func(trace.BlamePhase) float64) func() []metrics.LabeledValue {
+		return func() []metrics.LabeledValue {
+			var out []metrics.LabeledValue
+			for _, sa := range tr.Attribution() {
+				for _, b := range sa.Blame {
+					out = append(out, metrics.LabeledValue{
+						Labels: fmt.Sprintf("site=%q,phase=%q", sa.Site, b.Phase),
+						Value:  value(b),
+					})
+				}
+			}
+			return out
+		}
+	}
+	reg.RegisterCounterVec("cormi_blame_wins_total", "spans whose critical path this phase dominated",
+		collect(func(b trace.BlamePhase) float64 { return float64(b.Wins) }))
+	reg.RegisterCounterVec("cormi_blame_self_ns_total", "accumulated blamable self time in the phase",
+		collect(func(b trace.BlamePhase) float64 { return float64(b.SelfNS) }))
+}
+
+// registerOverloadGauges walks stats.OverloadStats with reflection and
+// registers one gauge per backlog level, named cormi_<snake_case_field>
+// (cormi_pending_calls, cormi_promise_table, cormi_promise_parked,
+// cormi_batch_queue_depth). As with registerCounterGauges, a field
+// added to the struct shows up on /metrics automatically.
+func registerOverloadGauges(reg *metrics.Registry, overload func() stats.OverloadStats) {
+	ot := reflect.TypeOf(stats.OverloadStats{})
+	for i := 0; i < ot.NumField(); i++ {
+		f := ot.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		idx := i
+		reg.RegisterGauge("cormi_"+snakeCase(f.Name), "backlog level "+f.Name,
+			func() float64 { return float64(reflect.ValueOf(overload()).Field(idx).Int()) })
+	}
 }
 
 // snakeCase converts a Go exported field name to snake_case, starting

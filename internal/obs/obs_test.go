@@ -2,10 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"cormi/internal/model"
 	"cormi/internal/rmi"
@@ -265,5 +268,278 @@ func TestBuildinfoEndpoint(t *testing.T) {
 	}
 	if bi.Module != "cormi" {
 		t.Errorf("/buildinfo module = %q, want cormi", bi.Module)
+	}
+}
+
+// startTracedNode builds one independent "node" for cluster-view tests:
+// its own 2-node RMI cluster, tracer, and obs server named name. Every
+// node registers the same call site, so their attribution rows merge.
+func startTracedNode(t *testing.T, name string, tcfg trace.Config) (*rmi.Cluster, *trace.Tracer, *Server) {
+	t.Helper()
+	tr := trace.New(tcfg)
+	c := rmi.New(2, rmi.WithTracer(tr))
+	t.Cleanup(c.Close)
+	s, err := Serve("127.0.0.1:0", Options{
+		Tracer: tr, Counters: c.Counters, NodeName: name, Overload: c.Overload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return c, tr, s
+}
+
+// invokeEcho runs count traced echo calls on the node's cluster, with
+// the callee sleeping delay per call.
+func invokeEcho(t *testing.T, c *rmi.Cluster, count int, delay time.Duration) {
+	t.Helper()
+	ref := c.Node(1).Export(&rmi.Service{
+		Name: "Echo",
+		Methods: map[string]rmi.Method{
+			"echo": func(call *rmi.Call, args []model.Value) []model.Value {
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				return []model.Value{args[0]}
+			},
+		},
+	})
+	cs := c.MustNewCallSite(rmi.LevelSite, rmi.SiteSpec{
+		Name: "obs.echo.1", Method: "echo",
+		ArgPlans: []*serial.Plan{serial.PrimitivePlan("obs.echo.1", model.FInt)},
+		RetPlans: []*serial.Plan{serial.PrimitivePlan("obs.echo.1", model.FInt)},
+	})
+	for i := 0; i < count; i++ {
+		if _, err := cs.Invoke(c.Node(0), ref, []model.Value{model.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	c, _, s := startTracedNode(t, "n0", trace.Config{RingSize: 64})
+	invokeEcho(t, c, 3, 0)
+
+	code, body := get(t, "http://"+s.Addr()+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	var ns NodeSnapshot
+	if err := json.Unmarshal([]byte(body), &ns); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v\n%s", err, body)
+	}
+	if ns.Version != SnapshotVersion {
+		t.Errorf("snapshot version = %d, want %d", ns.Version, SnapshotVersion)
+	}
+	if ns.Node != "n0" {
+		t.Errorf("snapshot node = %q, want n0", ns.Node)
+	}
+	if ns.CapturedWallNS == 0 {
+		t.Error("snapshot missing captured_wall_ns")
+	}
+	var site *trace.SiteAttribution
+	for i := range ns.Sites {
+		if ns.Sites[i].Site == "obs.echo.1" {
+			site = &ns.Sites[i]
+		}
+	}
+	if site == nil {
+		t.Fatalf("/snapshot missing obs.echo.1: %s", body)
+	}
+	if site.Calls != 3 {
+		t.Errorf("site calls = %d, want 3", site.Calls)
+	}
+	if len(site.Blame) == 0 {
+		t.Error("site snapshot has no blame rows")
+	}
+}
+
+func TestClusterEndpointMergesPeers(t *testing.T) {
+	// Three independent nodes, each with its own obs server and the
+	// same call site; one node aggregates the other two over HTTP.
+	c0, _, s0 := startTracedNode(t, "n0", trace.Config{RingSize: 64})
+	c1, _, s1 := startTracedNode(t, "n1", trace.Config{RingSize: 64})
+	c2, _, s2 := startTracedNode(t, "n2", trace.Config{RingSize: 64})
+	invokeEcho(t, c0, 2, 0)
+	invokeEcho(t, c1, 3, 0)
+	invokeEcho(t, c2, 5, 0)
+
+	url := "http://" + s0.Addr() + "/cluster?peers=" + s1.Addr() + "," + s2.Addr()
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("/cluster status %d", code)
+	}
+	var cv ClusterView
+	if err := json.Unmarshal([]byte(body), &cv); err != nil {
+		t.Fatalf("/cluster is not JSON: %v\n%s", err, body)
+	}
+	if cv.Version != SnapshotVersion {
+		t.Errorf("cluster version = %d, want %d", cv.Version, SnapshotVersion)
+	}
+	if len(cv.Nodes) != 3 {
+		t.Errorf("cluster nodes = %v, want 3 entries", cv.Nodes)
+	}
+	if len(cv.Errors) != 0 {
+		t.Errorf("cluster errors = %v, want none", cv.Errors)
+	}
+	var row *ClusterSite
+	for i := range cv.Sites {
+		if cv.Sites[i].Site == "obs.echo.1" {
+			row = &cv.Sites[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("/cluster missing obs.echo.1: %s", body)
+	}
+	if row.Calls != 10 {
+		t.Errorf("merged calls = %d, want 10 (2+3+5)", row.Calls)
+	}
+	if row.P50NS <= 0 || row.P50NS > row.P95NS || row.P95NS > row.P99NS {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", row.P50NS, row.P95NS, row.P99NS)
+	}
+	if row.TopBlame == "" || row.TopBlameShare <= 0 {
+		t.Errorf("merged row has no top blame: %+v", row)
+	}
+
+	// An unreachable peer degrades to an error entry, not a failure.
+	code, body = get(t, "http://"+s0.Addr()+"/cluster?peers=127.0.0.1:1")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster with dead peer status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &cv); err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Errors) != 1 {
+		t.Errorf("dead peer not reported: errors = %v", cv.Errors)
+	}
+	if len(cv.Nodes) != 1 {
+		t.Errorf("dead peer merged anyway: nodes = %v", cv.Nodes)
+	}
+}
+
+func TestSlowEndpointsServeExemplars(t *testing.T) {
+	// Warmup 1 arms the adaptive threshold after the first call; the
+	// huge refresh keeps it armed at that fast-call estimate, so a
+	// 5ms call must exceed it and be captured.
+	c, tr, s := startTracedNode(t, "n0", trace.Config{
+		RingSize: 64, ExemplarWarmup: 1, ExemplarRefresh: 1 << 40, ExemplarMinNS: 1,
+	})
+	invokeEcho(t, c, 2, 0)
+	invokeEcho(t, c, 1, 5*time.Millisecond)
+	if tr.Exemplars() == 0 {
+		t.Fatal("5ms call past a µs-scale threshold captured no exemplar")
+	}
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/slow status %d", code)
+	}
+	var exs []trace.Exemplar
+	if err := json.Unmarshal([]byte(body), &exs); err != nil {
+		t.Fatalf("/slow is not JSON: %v\n%s", err, body)
+	}
+	if len(exs) == 0 {
+		t.Fatal("/slow empty after a captured exemplar")
+	}
+	ex := exs[0] // newest first: the slow call
+	if ex.Site != "obs.echo.1" || ex.Blame != "execute" {
+		t.Errorf("exemplar = site %q blame %q, want obs.echo.1/execute", ex.Site, ex.Blame)
+	}
+	if ex.TotalNS < int64(4*time.Millisecond) {
+		t.Errorf("exemplar total %dns, want >= 4ms", ex.TotalNS)
+	}
+	if ex.ThresholdNS <= 0 || ex.TotalNS <= ex.ThresholdNS {
+		t.Errorf("exemplar does not exceed its threshold: total=%d thr=%d", ex.TotalNS, ex.ThresholdNS)
+	}
+	if len(ex.Caller) == 0 || len(ex.Callee) == 0 {
+		t.Errorf("exemplar span tree incomplete: caller=%d callee=%d phases", len(ex.Caller), len(ex.Callee))
+	}
+
+	// The same exemplars render as a Perfetto-loadable trace.
+	code, body = get(t, base+"/slow/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/slow/trace status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/slow/trace is not Chrome-trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/slow/trace has no events")
+	}
+	if !strings.Contains(body, "execute") {
+		t.Error("/slow/trace missing the slow execute phase")
+	}
+
+	// The capture total is also a gauge.
+	_, mbody := get(t, base+"/metrics")
+	if !strings.Contains(mbody, "cormi_trace_exemplars_total") {
+		t.Error("/metrics missing cormi_trace_exemplars_total")
+	}
+}
+
+func TestSlowWithoutTracer(t *testing.T) {
+	var c stats.Counters
+	s, err := Serve("127.0.0.1:0", Options{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if code, _ := get(t, "http://"+s.Addr()+"/slow"); code != http.StatusNotFound {
+		t.Fatalf("/slow without tracer = %d, want 404", code)
+	}
+	// /snapshot stays up (versioned protocol; a metrics-only node just
+	// contributes no sites), so /cluster never chokes on a mixed fleet.
+	code, body := get(t, "http://"+s.Addr()+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot without tracer = %d, want 200", code)
+	}
+	var ns NodeSnapshot
+	if err := json.Unmarshal([]byte(body), &ns); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Version != SnapshotVersion || len(ns.Sites) != 0 {
+		t.Errorf("tracerless snapshot = %+v", ns)
+	}
+}
+
+func TestOverloadGaugesCoverEveryField(t *testing.T) {
+	// Mirror of TestCounterGaugesCoverEveryField for the backlog levels:
+	// every OverloadStats field must surface as a cormi_* gauge with its
+	// live value, automatically as fields are added.
+	var o stats.OverloadStats
+	ov := reflect.ValueOf(&o).Elem()
+	for i := 0; i < ov.NumField(); i++ {
+		ov.Field(i).SetInt(int64(9100 + i*7))
+	}
+	s, err := Serve("127.0.0.1:0", Options{Overload: func() stats.OverloadStats { return o }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	_, body := get(t, "http://"+s.Addr()+"/metrics")
+	ot := ov.Type()
+	for i := 0; i < ot.NumField(); i++ {
+		want := fmt.Sprintf("cormi_%s %d", snakeCase(ot.Field(i).Name), 9100+i*7)
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing overload gauge %q", want)
+		}
+	}
+}
+
+func TestBlameVecsOnMetrics(t *testing.T) {
+	c, _, s := startTracedNode(t, "n0", trace.Config{RingSize: 64})
+	invokeEcho(t, c, 1, time.Millisecond)
+	_, body := get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		`cormi_blame_wins_total{site="obs.echo.1",phase="execute"} 1`,
+		`cormi_blame_self_ns_total{site="obs.echo.1",phase="execute"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package rmi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,12 +83,20 @@ type linkBatcher struct {
 	n   *Node
 	to  int
 	cfg BatchConfig
+	// site is the tracer pseudo-site ("link.<from>-><to>") flush spans
+	// are recorded under, rendered once at construction so the flush
+	// path never formats.
+	site string
 
 	mu      sync.Mutex
 	pending *wire.Message // container under construction; nil when empty
 	count   int
 	timer   *time.Timer
 	stopped bool
+	// oldestWall is the wall-clock enqueue time of the pending
+	// container's first frame (set only when tracing): the flush span's
+	// batch_wait phase measures from it.
+	oldestWall int64
 
 	// flushes/batched feed the per-link gauges on /links.
 	flushes atomic.Int64
@@ -95,7 +104,7 @@ type linkBatcher struct {
 }
 
 func newLinkBatcher(n *Node, to int, cfg BatchConfig) *linkBatcher {
-	return &linkBatcher{n: n, to: to, cfg: cfg}
+	return &linkBatcher{n: n, to: to, cfg: cfg, site: fmt.Sprintf("link.%d->%d", n.ID, to)}
 }
 
 // batcherFor routes one outbound frame: the batcher for the peer when
@@ -143,6 +152,9 @@ func (b *linkBatcher) enqueue(pkt transport.Packet) error {
 		b.pending = wire.Get()
 		b.pending.AppendByte(msgBatch)
 		b.pending.AppendInt32(0) // entry count, patched at flush
+		if b.n.cluster.tracer != nil {
+			b.oldestWall = trace.Now()
+		}
 		if b.timer == nil {
 			b.timer = time.AfterFunc(b.cfg.FlushEvery, b.flush)
 		} else {
@@ -191,6 +203,10 @@ func (b *linkBatcher) flushLocked() error {
 	pkt := transport.Packet{To: b.to, TS: b.n.Clock.Now(), Payload: frame}
 	if c.tracer != nil {
 		pkt.Wall = trace.Now()
+		// One flush span per container on the link's pseudo-site: its
+		// batch_wait phase is how long the oldest coalesced frame sat in
+		// the container, the latency cost batching trades for frames.
+		c.tracer.RecordFlush(b.site, b.n.ID, b.to, count, b.oldestWall)
 	}
 	return b.n.ep.Send(pkt)
 }

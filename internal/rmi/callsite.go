@@ -491,6 +491,9 @@ func (cs *CallSite) startRemote(pc *pendingCall, n *Node, ref Ref, args []model.
 	// the caller: StartCaller on a nil tracer returns a nil span whose
 	// methods are no-ops.
 	sp := c.tracer.StartCaller(cs.Name, cs.Method, n.ID, ref.Node, seq)
+	if ex.oneWay {
+		sp.SetOneWay()
+	}
 	sp.BeginPhase(trace.PhaseSerialize)
 	m := wire.Get()
 	m.AppendByte(msgCall)

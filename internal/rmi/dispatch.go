@@ -276,6 +276,9 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		// transit and plan-lookup phases measured before it existed still
 		// fall inside it.
 		sp = c.tracer.StartCallee(cs.Name, cs.Method, p.From, n.ID, seq, p.RecvWall)
+		if oneWay {
+			sp.SetOneWay()
+		}
 		sp.SetPhase(trace.PhasePlanLookup, lookupStart, trace.Now()-lookupStart)
 		if p.Wall != 0 {
 			sp.SetPhase(trace.PhaseTransit, p.Wall, p.RecvWall-p.Wall)
@@ -462,15 +465,20 @@ func (n *Node) runPipelined(cs *CallSite, method Method, ec execCtx, args []mode
 		if !done {
 			// The pipelined call overtook its producer; park until the
 			// producer publishes (or the cluster shuts down).
+			// promiseParked tracks the currently parked executors — an
+			// overload signal (cormi_promise_parked) for admission control.
 			c.Counters.PromiseParks.Add(1)
+			c.promiseParked.Add(1)
 			sp.BeginPhase(trace.PhasePromiseWait)
 			select {
 			case <-ready:
 			case <-c.done:
+				c.promiseParked.Add(-1)
 				sp.EndPhase(trace.PhasePromiseWait)
 				ec.promisedReject(n, fmt.Sprintf("promise (from %d, seq %d): %v", ec.from, h.Seq, ErrClusterClosed), sp)
 				return
 			}
+			c.promiseParked.Add(-1)
 			sp.EndPhase(trace.PhasePromiseWait)
 		}
 		n.promMu.Lock()

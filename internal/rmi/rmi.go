@@ -200,6 +200,11 @@ type Cluster struct {
 	// promiseCap bounds each node's promise table (default 1024).
 	promiseCap int
 
+	// promiseParked tracks the executor goroutines currently parked on
+	// an unresolved promise (level, not a monotone total — see
+	// stats.OverloadStats.PromiseParked).
+	promiseParked atomic.Int64
+
 	// futPool recycles Future structs across asynchronous invocations.
 	futPool sync.Pool
 
@@ -483,6 +488,34 @@ func (c *Cluster) SiteStats() []stats.SiteStat {
 		out = append(out, cs.Stats())
 	}
 	return out
+}
+
+// Overload snapshots the cluster's backlog levels — pending-call
+// table, promise table occupancy, parked executors, and batch queue
+// depth — the overload signals the obs server exposes as gauges and
+// admission control will consume. Each table is read under its own
+// short-lived lock; the snapshot is consistent per table, not across
+// tables, which is all a monitoring signal needs.
+func (c *Cluster) Overload() stats.OverloadStats {
+	var o stats.OverloadStats
+	for _, n := range c.nodes {
+		n.pendMu.Lock()
+		o.PendingCalls += int64(len(n.pending))
+		n.pendMu.Unlock()
+		n.promMu.Lock()
+		o.PromiseTable += int64(len(n.promises))
+		n.promMu.Unlock()
+		for _, b := range n.batchers {
+			if b == nil {
+				continue
+			}
+			b.mu.Lock()
+			o.BatchQueueDepth += int64(b.count)
+			b.mu.Unlock()
+		}
+	}
+	o.PromiseParked = c.promiseParked.Load()
+	return o
 }
 
 func (c *Cluster) site(id int32) (*CallSite, bool) {

@@ -71,6 +71,11 @@ const (
 	// PhasePromiseWait is the callee-side park of a pipelined call
 	// waiting for the promise-table entries its arguments reference.
 	PhasePromiseWait
+	// PhaseBatchWait is the window the oldest frame of one batched
+	// container waited between enqueue and physical flush — recorded on
+	// a per-link pseudo-site span (RecordFlush), since the wait belongs
+	// to the link's batcher, not to any one call site.
+	PhaseBatchWait
 
 	// NumPhases is the phase count; valid phases are < NumPhases.
 	NumPhases
@@ -80,6 +85,7 @@ var phaseNames = [NumPhases]string{
 	"plan_lookup", "serialize", "send", "transit", "dispatch",
 	"deserialize", "execute", "reply_serialize", "reply_transit",
 	"wait_reply", "reply_deserialize", "future_wait", "promise_wait",
+	"batch_wait",
 }
 
 func (p Phase) String() string {
@@ -129,6 +135,14 @@ type SpanRecord struct {
 	// VirtualTransitNS is the cost-model (virtual time) transit of the
 	// call message (callee span only).
 	VirtualTransitNS int64
+	// OneWay marks fire-and-forget calls: the caller half ends at wire
+	// handoff and the callee half never serializes a reply, so a short
+	// span is expected, not truncated.
+	OneWay bool
+	// Batch is the sub-frame count of a batch-flush span (RecordFlush);
+	// zero on ordinary call spans. Flush spans carry only PhaseBatchWait
+	// and are excluded from per-call attribution totals.
+	Batch int
 	// PhaseStart/PhaseDur hold each phase's wall start and duration;
 	// a zero duration means the phase was not recorded by this half.
 	PhaseStart [NumPhases]int64
@@ -190,6 +204,14 @@ func (s *Span) SetVirtualTransit(ns int64) {
 	s.VirtualTransitNS = ns
 }
 
+// SetOneWay marks the span as half of a fire-and-forget call.
+func (s *Span) SetOneWay() {
+	if s == nil {
+		return
+	}
+	s.OneWay = true
+}
+
 // Fail marks the span failed. The failure classes the flight recorder
 // auto-dumps on (timeout, partition, panic) additionally call
 // Tracer.DumpFailure.
@@ -227,29 +249,76 @@ type Config struct {
 	// MaxDumps bounds the auto-dumps per tracer (default 4) so a
 	// failure storm cannot flood the sink.
 	MaxDumps int
+	// ExemplarRing bounds the slow-call exemplar ring (default 64).
+	ExemplarRing int
+	// ExemplarWarmup is the per-site caller-span count before the
+	// adaptive slow-call threshold arms (default 64): exemplar capture
+	// needs a latency distribution to estimate p99 against.
+	ExemplarWarmup int64
+	// ExemplarRefresh re-derives a site's threshold from its total-
+	// latency histogram every this many caller spans (default 256), so
+	// the p99 estimate tracks workload shifts without per-call quantile
+	// math.
+	ExemplarRefresh int64
+	// ExemplarMinNS floors the slow-call threshold: calls faster than
+	// this never capture an exemplar regardless of the site's p99.
+	// Zero means no floor. Tests use a huge floor to keep capture armed
+	// but never firing.
+	ExemplarMinNS int64
+}
+
+// siteState is everything the tracer tracks per call site: the
+// per-phase latency histograms, the caller-observed total-latency
+// histogram, the always-on blame counters, and the adaptive slow-call
+// threshold. Span close touches it with one lock-free map read plus
+// plain atomic adds — no allocation, no locks.
+type siteState struct {
+	hists [NumPhases]*metrics.Histogram
+	// total is the caller-observed end-to-end latency (full span wall
+	// time of KindCaller spans), the distribution cluster quantiles and
+	// the slow-call threshold derive from.
+	total *metrics.Histogram
+	// wins[p] counts spans whose dominant (longest) leaf phase was p;
+	// self[p] accumulates every span's phase-p duration. Wins answer
+	// "what usually dominates", self answers "where the nanoseconds
+	// went" — the duration-weighted view is the one top-blame uses, so
+	// one 10ms execute outvotes a thousand 1µs serializes.
+	wins [NumPhases]atomic.Int64
+	self [NumPhases]atomic.Int64
+
+	callerSpans atomic.Int64
+	// threshold is the armed slow-call cutoff in ns; zero until warmup.
+	threshold atomic.Int64
+	exemplars atomic.Int64
 }
 
 // Tracer owns the span pool, the per-site histograms and the flight
 // recorder. A nil *Tracer is a valid "tracing off" value: StartCaller
 // and StartCallee return nil spans whose methods are no-ops.
 type Tracer struct {
-	cfg Config
-	reg *metrics.Registry
-	fam *metrics.Family
+	cfg      Config
+	reg      *metrics.Registry
+	fam      *metrics.Family
+	totalFam *metrics.Family
 
 	pool sync.Pool
-	// sites caches site → per-phase histogram arrays so span close
-	// does one lock-free map read, not NumPhases label renderings.
-	sites sync.Map // string → *[NumPhases]*metrics.Histogram
+	// sites caches site → siteState so span close does one lock-free
+	// map read, not NumPhases label renderings.
+	sites sync.Map // string → *siteState
 
 	ringMu sync.Mutex
 	ring   []SpanRecord
 	ringN  uint64 // total records ever pushed
 
-	spansStarted atomic.Int64
-	failures     atomic.Int64
-	dumpMu       sync.Mutex
-	dumps        int
+	exMu sync.Mutex
+	exs  []Exemplar
+	exN  uint64 // total exemplars ever pushed
+
+	spansStarted   atomic.Int64
+	failures       atomic.Int64
+	exemplarsTotal atomic.Int64
+	dumpMu         sync.Mutex
+	dumps          int
 }
 
 // New creates a tracer.
@@ -260,15 +329,26 @@ func New(cfg Config) *Tracer {
 	if cfg.MaxDumps <= 0 {
 		cfg.MaxDumps = 4
 	}
+	if cfg.ExemplarRing <= 0 {
+		cfg.ExemplarRing = 64
+	}
+	if cfg.ExemplarWarmup <= 0 {
+		cfg.ExemplarWarmup = 64
+	}
+	if cfg.ExemplarRefresh <= 0 {
+		cfg.ExemplarRefresh = 256
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	t := &Tracer{
-		cfg:  cfg,
-		reg:  reg,
-		fam:  reg.Family("cormi_phase_latency_ns", "per call-site, per-phase RMI latency in nanoseconds"),
-		ring: make([]SpanRecord, cfg.RingSize),
+		cfg:      cfg,
+		reg:      reg,
+		fam:      reg.Family("cormi_phase_latency_ns", "per call-site, per-phase RMI latency in nanoseconds"),
+		totalFam: reg.Family("cormi_call_latency_ns", "per call-site caller-observed end-to-end RMI latency in nanoseconds"),
+		ring:     make([]SpanRecord, cfg.RingSize),
+		exs:      make([]Exemplar, cfg.ExemplarRing),
 	}
 	t.pool.New = func() any { return new(Span) }
 	return t
@@ -313,37 +393,121 @@ func (t *Tracer) StartCallee(site, method string, from, to int, seq, startWall i
 	return t.start(site, method, from, to, seq, KindCallee, startWall)
 }
 
-// hists returns the per-phase histogram array for a site, creating and
-// caching it on first use.
-func (t *Tracer) hists(site string) *[NumPhases]*metrics.Histogram {
-	if v, ok := t.sites.Load(site); ok {
-		return v.(*[NumPhases]*metrics.Histogram)
+// site returns the state for a call site, creating and caching it on
+// first use.
+func (t *Tracer) site(name string) *siteState {
+	if v, ok := t.sites.Load(name); ok {
+		return v.(*siteState)
 	}
-	var arr [NumPhases]*metrics.Histogram
+	st := &siteState{total: t.totalFam.Series(fmt.Sprintf("site=%q", name))}
 	for p := Phase(0); p < NumPhases; p++ {
-		arr[p] = t.fam.Series(fmt.Sprintf("site=%q,phase=%q", site, p))
+		st.hists[p] = t.fam.Series(fmt.Sprintf("site=%q,phase=%q", name, p))
 	}
-	v, _ := t.sites.LoadOrStore(site, &arr)
-	return v.(*[NumPhases]*metrics.Histogram)
+	v, _ := t.sites.LoadOrStore(name, st)
+	return v.(*siteState)
+}
+
+// blamable reports whether a phase is a leaf of the call timeline for
+// attribution purposes. PhaseWaitReply is the caller's whole round
+// trip — a container over transit, dispatch, execute and the reply
+// legs — so counting it would blame "waiting" for every call;
+// PhaseFutureWait likewise contains the overlapped flight of an async
+// call. Both are excluded from dominant-phase classification and
+// self-time sums; the leaf phases partition the wait they cover.
+func blamable(p Phase) bool {
+	return p != PhaseWaitReply && p != PhaseFutureWait
 }
 
 func (t *Tracer) close(s *Span) {
-	hs := t.hists(s.Site)
+	st := t.site(s.Site)
+	var domPhase = -1
+	var domDur int64
 	for p := range s.PhaseDur {
-		if d := s.PhaseDur[p]; d > 0 {
-			hs[p].Observe(d)
+		d := s.PhaseDur[p]
+		if d <= 0 {
+			continue
 		}
+		st.hists[p].Observe(d)
+		if !blamable(Phase(p)) {
+			continue
+		}
+		st.self[p].Add(d)
+		if d > domDur {
+			domDur, domPhase = d, p
+		}
+	}
+	if domPhase >= 0 {
+		st.wins[domPhase].Add(1)
 	}
 	if s.Err != "" {
 		t.failures.Add(1)
 	}
+
+	// Caller spans of ordinary calls carry the end-to-end latency the
+	// user saw; feed the total histogram and the adaptive threshold.
+	// Flush spans (Batch > 0) are link bookkeeping, not calls.
+	slow := false
+	var tot int64
+	if s.Kind == KindCaller && s.Batch == 0 {
+		tot = s.SpanRecord.End - s.SpanRecord.Start
+		if tot < 0 {
+			tot = 0
+		}
+		st.total.Observe(tot)
+		n := st.callerSpans.Add(1)
+		if n == t.cfg.ExemplarWarmup || (n > t.cfg.ExemplarWarmup && n%t.cfg.ExemplarRefresh == 0) {
+			thr := int64(st.total.Quantile(0.99))
+			if thr < t.cfg.ExemplarMinNS {
+				thr = t.cfg.ExemplarMinNS
+			}
+			if thr > 0 {
+				st.threshold.Store(thr)
+			}
+		}
+		if thr := st.threshold.Load(); thr > 0 && tot > thr {
+			slow = true
+		}
+	}
+
 	t.ringMu.Lock()
 	t.ring[t.ringN%uint64(len(t.ring))] = s.SpanRecord
 	t.ringN++
 	t.ringMu.Unlock()
 
+	if slow {
+		// Rare by construction (past the site's p99), so the capture
+		// path may allocate; the common path above does not.
+		t.captureExemplar(st, &s.SpanRecord, tot)
+	}
+
 	*s = Span{} // clear strings and stale phases before pooling
 	t.pool.Put(s)
+}
+
+// RecordFlush records one batch-container flush as a span on the
+// link's pseudo-site (e.g. "link.0->1"): its single PhaseBatchWait
+// phase is the wall time the container's oldest frame waited for the
+// physical flush, and Batch carries the coalesced sub-frame count.
+// The span flows through the same close path as call spans, so batch
+// wait shows up in histograms, blame counters, the flight recorder and
+// the Chrome dump like any other phase.
+func (t *Tracer) RecordFlush(site string, from, to, frames int, oldestWall int64) {
+	if t == nil || frames <= 0 {
+		return
+	}
+	now := Now()
+	if oldestWall <= 0 || oldestWall > now {
+		oldestWall = now
+	}
+	t.spansStarted.Add(1)
+	s := t.pool.Get().(*Span)
+	s.SpanRecord = SpanRecord{
+		Site: site, Method: "flush", From: from, To: to,
+		Kind: KindCaller, Start: oldestWall, Batch: frames,
+	}
+	s.t = t
+	s.SetPhase(PhaseBatchWait, oldestWall, now-oldestWall)
+	s.End()
 }
 
 // Recent returns the flight recorder's contents, oldest first. The
@@ -401,9 +565,9 @@ func (t *Tracer) PhaseStats() []PhaseStat {
 	var out []PhaseStat
 	t.sites.Range(func(k, v any) bool {
 		site := k.(string)
-		arr := v.(*[NumPhases]*metrics.Histogram)
+		st := v.(*siteState)
 		for p := Phase(0); p < NumPhases; p++ {
-			snap := arr[p].Snapshot()
+			snap := st.hists[p].Snapshot()
 			if snap.Total == 0 {
 				continue
 			}

@@ -152,6 +152,30 @@ func TestWriteChromeParses(t *testing.T) {
 	}
 }
 
+func TestWriteChromeOneWayAndBatchSpans(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	sp := tr.StartCaller("W.fire.1", "fire", 0, 2, 11)
+	sp.SetOneWay()
+	sp.BeginPhase(PhaseSerialize)
+	sp.EndPhase(PhaseSerialize)
+	sp.End()
+	tr.RecordFlush("link.0->2", 0, 2, 7, Now()-1000)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Recent(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"one_way":true`, `"batched_frames":7`, `"cat":"batch"`,
+		`link.0-\u003e2`, "batch_wait",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestSpanPoolRecycles pins the "enabled tracing recycles spans"
 // guarantee: steady-state span open/close allocates nothing beyond the
 // ring copy.
