@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async verify-attrib fuzz
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async verify-attrib verify-dtrace fuzz
 
 verify:
 	go vet ./...
@@ -14,6 +14,7 @@ verify:
 	$(MAKE) verify-precision
 	$(MAKE) verify-async
 	$(MAKE) verify-attrib
+	$(MAKE) verify-dtrace
 	$(MAKE) fuzz
 
 test:
@@ -64,15 +65,28 @@ verify-attrib:
 	go test -count=1 -run 'TestAttributionSteadyStateAllocs' ./internal/apps/micro
 	go test -count=1 -run 'TestMerge|TestRunAttribBlamesSlowExecutor' ./internal/metrics ./internal/harness
 
-# Short native-fuzzing pass over the two adversarial decode surfaces:
-# the HELLO handshake decoder and the value/reference payload decoder.
-# Each target always replays its checked-in seed corpus
-# (testdata/fuzz/) and then mutates for a few seconds. Properties:
-# no panics, typed ErrMalformedFrame on every rejection, balanced
-# read-context pool. Longer runs: FUZZTIME=10m make fuzz.
+# Distributed-tracing gate (DESIGN.md §15): head sampling must be free
+# for the calls it does not pick (the armed untraced hot path holds the
+# same 3-alloc budget as verify-attrib) and cheap for those it does
+# (the sampled path's ceiling is pinned); and the 3-node harness
+# scenario must reconstruct a pipelined depth-8 chain — through the
+# real HTTP /traces -> /traces/<id>?peers= pull path — as exactly one
+# tree with the topology's span/hop counts and a critical path
+# accounting for the measured wall time.
+verify-dtrace:
+	go test -count=1 -run 'TestUntracedWithSamplingArmedAllocs|TestSampledPathAllocs' ./internal/apps/micro
+	go test -count=1 -run 'TestDTraceChainReconstructsSingleTree|TestBuildTree' ./internal/harness ./internal/trace
+
+# Short native-fuzzing pass over the adversarial decode surfaces:
+# the HELLO handshake decoder, the value/reference payload decoder,
+# and the wire trace-context codec. Each target always replays its
+# checked-in seed corpus (testdata/fuzz/) and then mutates for a few
+# seconds. Properties: no panics, typed ErrMalformedFrame on every
+# rejection, balanced read-context pool. Longer runs: FUZZTIME=10m make fuzz.
 FUZZTIME ?= 5s
 fuzz:
 	go test -run '^$$' -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/wire
+	go test -run '^$$' -fuzz FuzzTraceContext -fuzztime $(FUZZTIME) ./internal/wire
 	go test -run '^$$' -fuzz FuzzReadValues -fuzztime $(FUZZTIME) ./internal/serial
 
 # Regenerate the human-readable Go benchmarks and the machine-readable

@@ -101,6 +101,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// The tracing section asserts that cross-node trace reconstruction
+	// stays whole (single root, exact span/hop counts, critical path
+	// accounting for the measured wall time).
+	if regs := harness.CompareTracing(base, cur); len(regs) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d tracing invariant failure(s) vs %s:\n", len(regs), fs.Arg(0))
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	}
+
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), fs.Arg(0))
 		for _, r := range regs {

@@ -89,6 +89,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(harness.FormatChain(rows))
+		// The distributed-tracing counterpart of the chain workload:
+		// the same pipelined chain, traced across three nodes and
+		// reconstructed through /traces.
+		dspec := harness.DefaultDTraceSpec()
+		dspec.Depth = *chain
+		trow, err := harness.RunDTrace(dspec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmibench: dtrace run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatTracing(trow))
 		return
 	}
 

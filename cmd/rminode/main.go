@@ -75,6 +75,7 @@ func main() {
 	obsSmoke := flag.Bool("obs-smoke", false, "probe the -obs endpoints after the run and exit nonzero on failure")
 	obsName := flag.String("obs-name", "rminode", "node name in /snapshot and /cluster documents")
 	obsPeers := flag.String("obs-peers", "", "comma-separated peer obs addresses that /cluster merges by default")
+	sample := flag.Int("sample", 64, "with -obs: head-sample every Nth root call into the distributed trace store (/traces; 0 disables)")
 	flag.Parse()
 
 	faultCfg := transport.FaultConfig{
@@ -150,7 +151,7 @@ func main() {
 		*obsAddr = "127.0.0.1:0"
 	}
 	if *obsAddr != "" {
-		tracer = trace.New(trace.Config{RingSize: 4096})
+		tracer = trace.New(trace.Config{RingSize: 4096, SampleEvery: int64(*sample)})
 		var err error
 		var peers []string
 		for _, p := range strings.Split(*obsPeers, ",") {
@@ -166,7 +167,7 @@ func main() {
 			fail(err)
 		}
 		defer server.Close()
-		fmt.Printf("observability endpoints on http://%s (/metrics /callsites /trace /trace/stats /slow /snapshot /cluster /debug/pprof /buildinfo /healthz)\n", server.Addr())
+		fmt.Printf("observability endpoints on http://%s (/metrics /callsites /trace /trace/stats /slow /snapshot /cluster /traces /debug/pprof /buildinfo /healthz)\n", server.Addr())
 	}
 
 	for _, level := range rmi.AllLevels {
@@ -246,7 +247,7 @@ func main() {
 		if err := smokeObs("http://"+server.Addr(), int64(*sends)); err != nil {
 			fail(fmt.Errorf("obs smoke: %w", err))
 		}
-		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /links, /buildinfo, /trace, /snapshot, /cluster and /slow all served valid payloads")
+		fmt.Println("obs smoke OK: /healthz, /metrics, /callsites, /links, /buildinfo, /trace, /snapshot, /cluster, /slow and /traces all served valid payloads")
 	}
 }
 
@@ -293,6 +294,7 @@ func smokeObs(base string, sends int64) error {
 		"cormi_promise_table",
 		"cormi_promise_parked",
 		"cormi_batch_queue_depth",
+		"cormi_trace_store_retained",
 		`cormi_site_calls{site="Main.main.1"}`,
 		`cormi_site_wire_bytes{site="Main.main.1"}`,
 		`cormi_link_negotiated_version{from="0",to="1"}`,
@@ -426,6 +428,39 @@ func smokeObs(base string, sends int64) error {
 	var exs []trace.Exemplar
 	if err := json.Unmarshal([]byte(body), &exs); err != nil {
 		return fmt.Errorf("/slow is not valid JSON: %w", err)
+	}
+
+	// Distributed tracing: head sampling is armed by default, so the
+	// run must have retained at least one trace, and its merged tree
+	// (single node here, but through the same pull path rmitop uses)
+	// must reconstruct with spans and a root.
+	body, err = get("/traces")
+	if err != nil {
+		return err
+	}
+	var tl obs.TraceList
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		return fmt.Errorf("/traces is not valid JSON: %w", err)
+	}
+	if tl.Version != obs.TracesVersion {
+		return fmt.Errorf("/traces version %d, want %d", tl.Version, obs.TracesVersion)
+	}
+	if len(tl.Traces) == 0 {
+		return fmt.Errorf("/traces empty with sampling armed")
+	}
+	body, err = get(fmt.Sprintf("/traces/%d?merge=1", tl.Traces[0].TraceID))
+	if err != nil {
+		return err
+	}
+	var tv obs.TraceView
+	if err := json.Unmarshal([]byte(body), &tv); err != nil {
+		return fmt.Errorf("/traces/<id> is not valid JSON: %w", err)
+	}
+	if tv.Version != obs.TracesVersion || tv.Tree == nil {
+		return fmt.Errorf("/traces/<id> document malformed: %s", body)
+	}
+	if len(tv.Tree.Spans) == 0 || len(tv.Tree.Roots) == 0 {
+		return fmt.Errorf("/traces/<id> tree empty for a retained trace: %s", body)
 	}
 	return nil
 }

@@ -12,8 +12,14 @@
 //	                       # (scripting / smoke tests)
 //
 // The rate column derives from call-count deltas between polls, so the
-// first frame shows "-". Slow-call exemplars are counted per site; pull
-// the span trees themselves from the owning node's /slow endpoint.
+// first frame shows "-". Slow-call exemplars are counted per site; two
+// drill-down modes follow one into its distributed trace:
+//
+//	rmitop -cluster 127.0.0.1:9090 -slow Attrib.echo.1   # worst slow
+//	                       # exemplars for the site, then the full
+//	                       # cross-node call tree of the worst sampled one
+//	rmitop -cluster 127.0.0.1:9090 -trace 0x1f3a…        # one trace's
+//	                       # reconstructed tree (/traces/<id>?peers=…)
 package main
 
 import (
@@ -24,10 +30,12 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"cormi/internal/obs"
+	"cormi/internal/trace"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -43,15 +51,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interval := fs.Duration("interval", 2*time.Second, "poll interval")
 	once := fs.Bool("once", false, "render one frame and exit")
 	frames := fs.Int("frames", 0, "frames to render before exiting (0 = until interrupted)")
+	traceID := fs.String("trace", "", "drill into one trace: render its reconstructed cross-node call tree and exit")
+	slowSite := fs.String("slow", "", "drill into a site: list its worst slow-call exemplars, then the trace tree of the worst sampled one")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	target := *cluster
-	if !strings.Contains(target, "://") {
-		target = "http://" + target
+	base := *cluster
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
 	}
-	target = strings.TrimRight(target, "/") + "/cluster"
+	base = strings.TrimRight(base, "/")
+
+	if *traceID != "" || *slowSite != "" {
+		client := &http.Client{Timeout: 5 * time.Second}
+		return drill(client, base, *peers, *slowSite, *traceID, stdout, stderr)
+	}
+
+	target := base + "/cluster"
 	if *peers != "" {
 		target += "?peers=" + url.QueryEscape(*peers)
 	}
@@ -134,6 +151,149 @@ func render(w io.Writer, cv *obs.ClusterView, prevCalls map[string]uint64, dt ti
 			s.Site, s.Calls, rate, fmtNS(s.P50NS), fmtNS(s.P99NS),
 			blame, 100*s.TopBlameShare, s.Exemplars)
 	}
+}
+
+// drill renders the one-shot drill-down views: the slow-exemplar list
+// for a site (and the tree of its worst sampled exemplar), or the tree
+// of an explicitly named trace.
+func drill(client *http.Client, base, peers, slowSite, traceID string, stdout, stderr io.Writer) int {
+	id := traceID
+	if slowSite != "" {
+		exs, err := fetchSlow(client, base)
+		if err != nil {
+			fmt.Fprintf(stderr, "rmitop: %v\n", err)
+			return 1
+		}
+		var rows []trace.Exemplar
+		for _, ex := range exs {
+			if ex.Site == slowSite {
+				rows = append(rows, ex)
+			}
+		}
+		if len(rows) == 0 {
+			fmt.Fprintf(stdout, "no slow-call exemplars for %s\n", slowSite)
+			return 0
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].TotalNS > rows[j].TotalNS })
+		fmt.Fprintf(stdout, "%-28s %10s %10s %-14s %6s %18s\n",
+			"site", "total", "threshold", "blame", "retry", "trace_id")
+		for _, ex := range rows {
+			tid := "-"
+			if ex.TraceID != 0 {
+				tid = fmt.Sprintf("0x%x", ex.TraceID)
+			}
+			fmt.Fprintf(stdout, "%-28s %10s %10s %-14s %6d %18s\n",
+				ex.Site, fmtNS(ex.TotalNS), fmtNS(ex.ThresholdNS), ex.Blame, ex.Retries, tid)
+		}
+		// Drill into the worst exemplar that was head-sampled.
+		for _, ex := range rows {
+			if ex.TraceID != 0 {
+				id = fmt.Sprintf("%d", ex.TraceID)
+				break
+			}
+		}
+		if id == "" {
+			fmt.Fprintf(stdout, "\nno exemplar was head-sampled; no trace to drill into\n")
+			return 0
+		}
+		fmt.Fprintln(stdout)
+	}
+	target := base + "/traces/" + url.PathEscape(id) + "?merge=1"
+	if peers != "" {
+		target += "&peers=" + url.QueryEscape(peers)
+	}
+	view, err := fetchTraceView(client, target)
+	if err != nil {
+		fmt.Fprintf(stderr, "rmitop: %v\n", err)
+		return 1
+	}
+	renderTree(stdout, view)
+	return 0
+}
+
+// fetchSlow pulls the aggregator's /slow exemplars.
+func fetchSlow(client *http.Client, base string) ([]trace.Exemplar, error) {
+	resp, err := client.Get(base + "/slow")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /slow: status %d", resp.StatusCode)
+	}
+	var exs []trace.Exemplar
+	if err := json.NewDecoder(resp.Body).Decode(&exs); err != nil {
+		return nil, fmt.Errorf("decode exemplars: %w", err)
+	}
+	return exs, nil
+}
+
+// fetchTraceView pulls and decodes one merged /traces/<id> document.
+func fetchTraceView(client *http.Client, target string) (*obs.TraceView, error) {
+	resp, err := client.Get(target)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", target, resp.StatusCode)
+	}
+	var view obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("decode trace view: %w", err)
+	}
+	if view.Version != obs.TracesVersion {
+		return nil, fmt.Errorf("trace view version %d, want %d", view.Version, obs.TracesVersion)
+	}
+	return &view, nil
+}
+
+// renderTree writes one reconstructed trace as an indented call tree
+// with the per-hop breakdown and the critical-path summary.
+func renderTree(w io.Writer, view *obs.TraceView) {
+	t := view.Tree
+	if t == nil || len(t.Spans) == 0 {
+		fmt.Fprintln(w, "trace not retained by any reachable node")
+		return
+	}
+	fmt.Fprintf(w, "trace 0x%x — %d span(s) across %s\n",
+		t.TraceID, len(t.Spans), strings.Join(view.Nodes, ", "))
+	for _, e := range view.Errors {
+		fmt.Fprintf(w, "  peer error: %s\n", e)
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := &t.Spans[i]
+		mark := " "
+		if s.Critical {
+			mark = "*"
+		}
+		flags := ""
+		if s.Orphan {
+			flags += " orphan"
+		}
+		if s.OneWay {
+			flags += " oneway"
+		}
+		if s.Err != "" {
+			flags += " err=" + s.Err
+		}
+		fmt.Fprintf(w, "%s %s%-*s %s [%s] hop=%d @%s +%s dur=%s%s\n",
+			mark, strings.Repeat("  ", depth), 28-2*depth, s.Site,
+			s.Method, s.Kind, s.Hop, s.Node, fmtNS(s.StartNS-t.Spans[t.Roots[0]].StartNS), fmtNS(s.DurNS), flags)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+	fmt.Fprintf(w, "end-to-end %s, critical path %s (%d hop(s)",
+		fmtNS(t.EndToEndNS), fmtNS(t.CriticalPathNS), t.MaxHop)
+	if t.Orphans > 0 || t.Duplicates > 0 {
+		fmt.Fprintf(w, ", %d orphan(s), %d duplicate(s)", t.Orphans, t.Duplicates)
+	}
+	fmt.Fprintln(w, "); * marks the critical path")
 }
 
 // fmtNS renders nanoseconds at human scale.

@@ -127,3 +127,83 @@ func TestFmtNS(t *testing.T) {
 		}
 	}
 }
+
+// fakeTraceServer serves /slow exemplars and a merged /traces/<id>
+// view, mimicking an obs node with the tracing endpoints.
+func fakeTraceServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tree := trace.BuildTree(0x1234, []trace.NodeSpans{
+		{Node: "n0", Spans: []trace.SpanRecord{{
+			Site: "Attrib.echo.1", Method: "echo", Kind: trace.KindCaller,
+			Seq: 9, Start: 100, End: 5_000_100,
+			TraceID: 0x1234, SpanID: 1, Hop: 0,
+		}}},
+		{Node: "n1", Spans: []trace.SpanRecord{{
+			Site: "Attrib.echo.1", Method: "echo", Kind: trace.KindCallee,
+			Seq: 9, Start: 1_000, End: 4_900_000,
+			TraceID: 0x1234, SpanID: 2, ParentID: 1, Hop: 1,
+		}}},
+	})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/slow":
+			_ = json.NewEncoder(w).Encode([]trace.Exemplar{
+				{Site: "Attrib.echo.1", TotalNS: 5_000_000, ThresholdNS: 1_000_000,
+					Blame: "execute", TraceID: 0x1234},
+				{Site: "Attrib.echo.1", TotalNS: 2_000_000, ThresholdNS: 1_000_000,
+					Blame: "execute"},
+				{Site: "Other.site.1", TotalNS: 9_000_000, ThresholdNS: 1_000_000,
+					Blame: "serialize"},
+			})
+		case strings.HasPrefix(r.URL.Path, "/traces/"):
+			_ = json.NewEncoder(w).Encode(obs.TraceView{
+				Version: obs.TracesVersion, Nodes: []string{"n0", "n1"}, Tree: tree,
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTraceDrillDownRendersTree(t *testing.T) {
+	srv := fakeTraceServer(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", srv.URL, "-trace", "0x1234"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace 0x1234",
+		"n0, n1",
+		"[caller] hop=0 @n0",
+		"[callee] hop=1 @n1",
+		"critical path",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tree output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSlowDrillDownFollowsWorstSampledExemplar(t *testing.T) {
+	srv := fakeTraceServer(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cluster", srv.URL, "-slow", "Attrib.echo.1"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "Other.site.1") {
+		t.Error("exemplars of other sites leaked into the drill-down")
+	}
+	for _, want := range []string{
+		"0x1234",       // the sampled exemplar's trace link
+		"trace 0x1234", // ...followed into the tree
+		"[callee] hop=1 @n1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("drill-down missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package micro
+
+import (
+	"testing"
+
+	"cormi/internal/apps/appkit"
+	"cormi/internal/core"
+	"cormi/internal/model"
+	"cormi/internal/race"
+	"cormi/internal/rmi"
+	"cormi/internal/trace"
+)
+
+// dtraceUntracedBudget bounds per-invocation heap allocations on the
+// full RMI path with distributed-trace sampling ARMED but not firing:
+// the head-sampling decision (one atomic tick + modulo) runs on every
+// root call, and the trace-context branch of the frame writer is live
+// but not taken. This is the same 3-alloc budget the attribution gate
+// holds — arming sampling must not cost the untraced hot path anything.
+// `make verify-dtrace` gates on it.
+const dtraceUntracedBudget = 3.0
+
+// dtraceSampledBudget bounds the sampled path: trace-ID allocation,
+// span identity stamping, the 17-byte wire context on the call frame,
+// and both spans' insertion into the bounded per-trace store. Bucket
+// recycling makes the steady state match the untraced path's 2
+// allocs/op (the FIFO order array reallocates only amortized); the
+// budget leaves one alloc of headroom so real growth (a per-span copy,
+// an unpooled buffer) still fails.
+const dtraceSampledBudget = 4.0
+
+// dtraceCluster builds the 2-node micro cluster used by both gates.
+func dtraceCluster(t *testing.T, tr *trace.Tracer) (*rmi.Cluster, *rmi.CallSite, rmi.Ref, []model.Value) {
+	t.Helper()
+	cluster := rmi.New(2, rmi.WithTracer(tr))
+	t.Cleanup(cluster.Close)
+	res, err := core.CompileInto(LinkedListSrc, cluster.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := appkit.SoleSite(res, "Foo.send")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := appkit.Register(cluster, rmi.LevelSiteReuseCycle, si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cluster.Node(1).Export(&rmi.Service{Name: "Foo", Methods: map[string]rmi.Method{
+		"send": func(call *rmi.Call, args []model.Value) []model.Value { return nil },
+	}})
+
+	nodeClass, ok := res.ModelClass("LinkedList")
+	if !ok {
+		t.Fatal("LinkedList class missing")
+	}
+	var head *model.Object
+	for i := 0; i < 100; i++ {
+		x := model.New(nodeClass)
+		x.Fields[0] = model.Ref(head)
+		head = x
+	}
+	return cluster, cs, ref, []model.Value{model.Ref(head)}
+}
+
+// TestUntracedWithSamplingArmedAllocs proves head sampling is free for
+// the calls it does not pick: with SampleEvery set astronomically high,
+// every steady-state call runs the sampling decision, skips the trace
+// context, and must stay within the same 3-alloc budget as a tracer
+// with no sampling configured at all.
+func TestUntracedWithSamplingArmedAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	tr := trace.New(trace.Config{
+		RingSize: 1024,
+		// Armed, near-never firing: the first root call samples (tick
+		// 0), every call in the measured window does not.
+		SampleEvery: 1 << 40,
+	})
+	cluster, cs, ref, argv := dtraceCluster(t, tr)
+	_ = cluster
+	caller := cluster.Node(0)
+	invoke := func() {
+		if _, err := cs.Invoke(caller, ref, argv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		invoke()
+	}
+	avg := testing.AllocsPerRun(300, invoke)
+	t.Logf("sampling armed, untraced: %.2f allocs per invocation", avg)
+	if avg > dtraceUntracedBudget {
+		t.Fatalf("untraced hot path with sampling armed: %.2f allocs per invocation, budget %.1f",
+			avg, dtraceUntracedBudget)
+	}
+	// Prove arming worked: exactly the one head-sampled warmup trace.
+	retained, _, _ := tr.TraceStoreStats()
+	if retained != 1 {
+		t.Errorf("%d traces retained, want exactly the first warmup call's", retained)
+	}
+}
+
+// TestSampledPathAllocs pins the cost of the sampled path itself: with
+// SampleEvery=1 every call allocates a trace, stamps both spans, ships
+// the wire context, and lands two span records in the store. The
+// ceiling has headroom for store bookkeeping noise but catches real
+// per-span growth.
+func TestSampledPathAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	tr := trace.New(trace.Config{RingSize: 1024, SampleEvery: 1})
+	cluster, cs, ref, argv := dtraceCluster(t, tr)
+	caller := cluster.Node(0)
+	invoke := func() {
+		if _, err := cs.Invoke(caller, ref, argv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm past the store's MaxTraces so measurement runs in the
+	// steady state where eviction recycles buckets.
+	for i := 0; i < 300; i++ {
+		invoke()
+	}
+	avg := testing.AllocsPerRun(300, invoke)
+	t.Logf("sampled: %.2f allocs per invocation", avg)
+	if avg > dtraceSampledBudget {
+		t.Fatalf("sampled path: %.2f allocs per invocation, budget %.1f",
+			avg, dtraceSampledBudget)
+	}
+	retained, evicted, dropped := tr.TraceStoreStats()
+	if retained == 0 || evicted == 0 {
+		t.Errorf("store retained=%d evicted=%d; the measured run should cycle the FIFO", retained, evicted)
+	}
+	if dropped != 0 {
+		t.Errorf("%d spans dropped; single-span traces should never hit the per-trace cap", dropped)
+	}
+}

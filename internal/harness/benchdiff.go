@@ -143,6 +143,53 @@ func CompareAttribution(base, cur *BenchReport) []string {
 	return lines
 }
 
+// CompareTracing gates the distributed-tracing section: cross-node
+// reconstruction must stay whole. One trace per chain, exactly one
+// root, the span and hop counts the three-node topology implies, no
+// orphaned or duplicated spans, and a critical path that accounts for
+// at least half of the measured wall time (the harness test asserts
+// the tight 10% bound; the bench gate is looser because the bench
+// machine may be loaded). Either report missing the section (old
+// baselines) compares empty.
+func CompareTracing(base, cur *BenchReport) []string {
+	if base.Tracing == nil || cur.Tracing == nil {
+		return nil
+	}
+	t := cur.Tracing
+	var lines []string
+	if t.Traces != t.Chains {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: sampled %d traces for %d chains", t.Traces, t.Chains))
+	}
+	if t.Roots != 1 {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: reconstructed tree has %d roots, want 1", t.Roots))
+	}
+	if want := 4 * t.Depth; t.SpansPerTrace != want {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: %d spans per trace, want %d (4 per chain link)", t.SpansPerTrace, want))
+	}
+	if t.MaxHop != 2 {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: max hop %d, want 2 (node0 -> node1 -> node2)", t.MaxHop))
+	}
+	if t.Orphans != 0 || t.Duplicates != 0 {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: %d orphan and %d duplicate spans, want none", t.Orphans, t.Duplicates))
+	}
+	if t.CriticalPathNS <= 0 || t.CriticalPathNS > t.EndToEndNS {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: critical path %dns outside (0, end-to-end %dns]",
+			t.CriticalPathNS, t.EndToEndNS))
+	}
+	if t.CriticalPathRatio < 0.5 || t.CriticalPathRatio > 1.05 {
+		lines = append(lines, fmt.Sprintf(
+			"tracing: critical path is %.2f of wall time, want within [0.5, 1.05]",
+			t.CriticalPathRatio))
+	}
+	return lines
+}
+
 // DecisionCounts are the verdict totals of one optimizer decision
 // report: live call sites, elided cycle checks (argument and return
 // directions both count), and buffer-reuse grants (arguments and

@@ -69,6 +69,11 @@ type BenchReport struct {
 	// slow executor. Optional section, gated by benchdiff only when
 	// both reports carry it.
 	Attribution []AttribRow `json:"attribution,omitempty"`
+	// Tracing holds the distributed-tracing scenario (dtrace.go): the
+	// structural and timing facts of cross-node trace reconstruction
+	// over a pipelined three-node chain. Optional section, gated by
+	// benchdiff only when both reports carry it.
+	Tracing *TracingRow `json:"tracing,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -259,6 +264,15 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		return nil, err
 	}
 	report.Attribution = attrib
+	dspec := DefaultDTraceSpec()
+	if spec.ChainDepth > 0 {
+		dspec.Depth = spec.ChainDepth
+	}
+	trow, err := RunDTrace(dspec)
+	if err != nil {
+		return nil, err
+	}
+	report.Tracing = trow
 	return report, nil
 }
 

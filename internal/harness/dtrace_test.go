@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"testing"
+
+	"cormi/internal/race"
+)
+
+// TestDTraceChainReconstructsSingleTree is the acceptance check for
+// DESIGN.md §15: a pipelined depth-8 chain across three traced nodes
+// reconstructs — over the production /traces pull path — as exactly
+// one tree per chain, with the span and hop counts the topology
+// implies and a critical path accounting for the measured wall time.
+func TestDTraceChainReconstructsSingleTree(t *testing.T) {
+	spec := DefaultDTraceSpec()
+	row, err := RunDTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dtrace row: %+v", row)
+	if row.Traces != spec.Chains {
+		t.Errorf("sampled %d traces, want %d (one per chain)", row.Traces, spec.Chains)
+	}
+	if row.Roots != 1 {
+		t.Errorf("reconstructed tree has %d roots, want exactly 1", row.Roots)
+	}
+	if want := dtraceSpansPerStep * spec.Depth; row.SpansPerTrace != want {
+		t.Errorf("%d spans per trace, want %d (caller+callee for step and leaf per link)",
+			row.SpansPerTrace, want)
+	}
+	if row.MaxHop != 2 {
+		t.Errorf("max hop %d, want 2 (node0 -> node1 -> node2)", row.MaxHop)
+	}
+	if row.Orphans != 0 {
+		t.Errorf("%d orphan spans, want none", row.Orphans)
+	}
+	if row.Duplicates != 0 {
+		t.Errorf("%d duplicate spans, want none", row.Duplicates)
+	}
+	if row.CriticalPathNS <= 0 || row.CriticalPathNS > row.EndToEndNS {
+		t.Errorf("critical path %dns outside (0, end-to-end %dns]",
+			row.CriticalPathNS, row.EndToEndNS)
+	}
+	// The chain's cost is real executor sleeps, so the reconstructed
+	// critical path must account for the caller's measured wall time.
+	// Race instrumentation inflates the untraced overhead between the
+	// sleeps, so the tight bound applies only to the plain build.
+	lo := 0.90
+	if race.Enabled {
+		lo = 0.60
+	}
+	if row.CriticalPathRatio < lo || row.CriticalPathRatio > 1.05 {
+		t.Errorf("critical path is %.3f of measured wall time, want within [%.2f, 1.05]",
+			row.CriticalPathRatio, lo)
+	}
+}

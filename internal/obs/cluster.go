@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"cormi/internal/trace"
@@ -110,9 +111,37 @@ func fetchSnapshot(client *http.Client, peer string) (NodeSnapshot, error) {
 	return ns, nil
 }
 
+// peerFetchLimit bounds the concurrent peer fetches one aggregation
+// request fans out (both /cluster and /traces/<id> merges): enough to
+// hide per-peer latency on realistic cluster sizes, bounded so a
+// request listing hundreds of peers cannot stampede the network.
+const peerFetchLimit = 8
+
+// forEachPeer runs fetch(i, peer) for every peer concurrently, at most
+// peerFetchLimit in flight, and returns when all are done. Results are
+// slotted by index, so callers keep deterministic peer ordering.
+func forEachPeer(peers []string, fetch func(i int, peer string)) {
+	sem := make(chan struct{}, peerFetchLimit)
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fetch(i, p)
+		}(i, p)
+	}
+	wg.Wait()
+}
+
 // buildClusterView merges the local snapshot with every peer's. Peers
 // must not include the serving node itself (its state is the local
-// contribution; listing it would double-count).
+// contribution; listing it would double-count). Peers are fetched
+// concurrently (bounded by peerFetchLimit) — one slow or dead peer
+// costs its own timeout, not the sum of everyone's — while the
+// document keeps the deterministic request order: nodes and errors
+// appear in the order the peers were listed.
 func buildClusterView(opts Options, peers []string) ClusterView {
 	local := localSnapshot(opts)
 	v := ClusterView{
@@ -120,20 +149,24 @@ func buildClusterView(opts Options, peers []string) ClusterView {
 		CapturedWallNS: local.CapturedWallNS,
 		Nodes:          []string{local.Node},
 	}
-	groups := [][]trace.SiteAttribution{local.Sites}
 	client := &http.Client{Timeout: 2 * time.Second}
-	for _, p := range peers {
-		ns, err := fetchSnapshot(client, p)
-		if err != nil {
-			v.Errors = append(v.Errors, fmt.Sprintf("%s: %v", p, err))
+	snaps := make([]NodeSnapshot, len(peers))
+	errs := make([]error, len(peers))
+	forEachPeer(peers, func(i int, p string) {
+		snaps[i], errs[i] = fetchSnapshot(client, p)
+	})
+	groups := [][]trace.SiteAttribution{local.Sites}
+	for i, p := range peers {
+		if errs[i] != nil {
+			v.Errors = append(v.Errors, fmt.Sprintf("%s: %v", p, errs[i]))
 			continue
 		}
-		name := ns.Node
+		name := snaps[i].Node
 		if name == "" || name == "local" {
 			name = p
 		}
 		v.Nodes = append(v.Nodes, name)
-		groups = append(groups, ns.Sites)
+		groups = append(groups, snaps[i].Sites)
 	}
 	v.Sites = clusterSites(trace.MergeAttributions(groups...))
 	return v

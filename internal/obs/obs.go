@@ -192,6 +192,7 @@ func NewServer(opts Options) *Server {
 		w.Header().Set("Content-Type", "application/json")
 		_ = trace.WriteChrome(w, spans, "slow")
 	})
+	registerTraceHandlers(s.mux, opts)
 	s.mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -409,6 +410,12 @@ func registerTracerGauges(reg *metrics.Registry, tr *trace.Tracer) {
 		func() float64 { return float64(tr.Failures()) })
 	reg.RegisterGauge("cormi_trace_exemplars_total", "slow-call exemplars captured past the adaptive p99 threshold",
 		func() float64 { return float64(tr.Exemplars()) })
+	reg.RegisterGauge("cormi_trace_store_retained", "sampled traces currently retained by the bounded trace store",
+		func() float64 { r, _, _ := tr.TraceStoreStats(); return float64(r) })
+	reg.RegisterGauge("cormi_trace_store_evicted_total", "sampled traces evicted by the store's FIFO cap",
+		func() float64 { _, e, _ := tr.TraceStoreStats(); return float64(e) })
+	reg.RegisterGauge("cormi_trace_store_dropped_spans_total", "spans dropped by the per-trace span cap",
+		func() float64 { _, _, d := tr.TraceStoreStats(); return float64(d) })
 	registerBlameVecs(reg, tr)
 }
 

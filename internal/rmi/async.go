@@ -188,6 +188,13 @@ type AsyncOpts struct {
 	Promises []PromiseArg
 	// Policy overrides the cluster call policy for this call.
 	Policy *CallPolicy
+	// Trace, when non-zero, makes the call a child of an existing
+	// sampled trace (e.g. Call.TraceContext from inside a method).
+	// When zero and the call pipelines promises, the trace context of
+	// the first promised future is inherited automatically, so a
+	// pipelined chain shares its root's trace; otherwise the call is a
+	// root candidate and head sampling decides.
+	Trace wire.TraceContext
 }
 
 // InvokeAsync issues the call without waiting for its reply and
@@ -220,6 +227,20 @@ func (cs *CallSite) InvokeAsync(n *Node, ref Ref, args []model.Value, opts Async
 	pipeOK := l != nil && l.caps&wire.CapPipelining != 0
 
 	var ex callExtras
+	ex.tctx = opts.Trace
+	if ex.tctx.TraceID == 0 {
+		// Inherit the trace of the first pipelined producer: the chain's
+		// later calls are causally downstream of it even though they are
+		// issued before it resolves. pc.tctx is written before the
+		// producer's future is returned and never mutated, so this read
+		// does not race its resolution.
+		for _, p := range opts.Promises {
+			if p.Fut != nil && p.Fut.pc.tctx.TraceID != 0 {
+				ex.tctx = p.Fut.pc.tctx
+				break
+			}
+		}
+	}
 	if opts.Promised && pipeOK {
 		ex.promised = true
 	}
@@ -320,7 +341,7 @@ func (cs *CallSite) InvokeOneWay(n *Node, ref Ref, args []model.Value) error {
 		// the failure is recorded, not returned.
 		if _, err := cs.invokeLocal(n, ref, args); err != nil {
 			c.Counters.OneWayErrors.Add(1)
-			c.tracer.DumpFailure("oneway-error")
+			n.tracer.DumpFailure("oneway-error")
 		}
 		return nil
 	}
@@ -330,7 +351,7 @@ func (cs *CallSite) InvokeOneWay(n *Node, ref Ref, args []model.Value) error {
 		// call (costs the round trip, keeps the semantics).
 		if _, err := cs.invokeRemote(n, ref, args, c.policy); err != nil {
 			c.Counters.OneWayErrors.Add(1)
-			c.tracer.DumpFailure("oneway-error")
+			n.tracer.DumpFailure("oneway-error")
 		}
 		return nil
 	}

@@ -152,7 +152,7 @@ func (b *linkBatcher) enqueue(pkt transport.Packet) error {
 		b.pending = wire.Get()
 		b.pending.AppendByte(msgBatch)
 		b.pending.AppendInt32(0) // entry count, patched at flush
-		if b.n.cluster.tracer != nil {
+		if b.n.tracer != nil {
 			b.oldestWall = trace.Now()
 		}
 		if b.timer == nil {
@@ -201,12 +201,12 @@ func (b *linkBatcher) flushLocked() error {
 	c.Counters.BatchFlushes.Add(1)
 	b.flushes.Add(1)
 	pkt := transport.Packet{To: b.to, TS: b.n.Clock.Now(), Payload: frame}
-	if c.tracer != nil {
+	if b.n.tracer != nil {
 		pkt.Wall = trace.Now()
 		// One flush span per container on the link's pseudo-site: its
 		// batch_wait phase is how long the oldest coalesced frame sat in
 		// the container, the latency cost batching trades for frames.
-		c.tracer.RecordFlush(b.site, b.n.ID, b.to, count, b.oldestWall)
+		b.n.tracer.RecordFlush(b.site, b.n.ID, b.to, count, b.oldestWall)
 	}
 	return b.n.ep.Send(pkt)
 }

@@ -263,6 +263,14 @@ const (
 	// them from its promise table. Sent only on links that negotiated
 	// wire.CapPipelining.
 	callFlagPipelined = 1 << 4
+	// callFlagTraceCtx marks a call carrying a distributed-trace context
+	// (wire.TraceContext, between the argument count and the promise
+	// section): the call belongs to a sampled trace and the callee's
+	// span joins the cross-node call tree. Sent only on links that
+	// negotiated wire.CapTracing — a link to a peer without the bit
+	// drops the context (the call still runs untraced downstream)
+	// instead of sending a frame the peer would reject.
+	callFlagTraceCtx = 1 << 5
 )
 
 // Reply flags.
@@ -293,6 +301,23 @@ func (cs *CallSite) InvokeWithPolicy(n *Node, ref Ref, args []model.Value, pol C
 		return cs.invokeLocal(n, ref, args)
 	}
 	return cs.invokeRemote(n, ref, args, pol)
+}
+
+// InvokeFrom issues a nested synchronous call from inside a running
+// method, inheriting the enclosing invocation's distributed-trace
+// context: when the enclosing call was sampled, the nested call's span
+// joins the same cross-node tree one hop down. Semantically identical
+// to call.Node-based Invoke otherwise.
+func (cs *CallSite) InvokeFrom(call *Call, ref Ref, args []model.Value) ([]model.Value, error) {
+	n := call.Node
+	if ref.Node == n.ID {
+		return cs.invokeLocal(n, ref, args)
+	}
+	var pc pendingCall
+	if err := cs.startRemote(&pc, n, ref, args, n.cluster.policy, callExtras{tctx: call.tctx}); err != nil {
+		return nil, err
+	}
+	return pc.await()
 }
 
 // invokeLocal handles the case where the remote object happens to live
@@ -435,6 +460,11 @@ type callExtras struct {
 	// handles names argument positions to splice from the callee's
 	// promise table instead of serializing (promise pipelining).
 	handles []serial.PromiseHandle
+	// tctx, when non-zero, makes the call a child of an existing
+	// sampled trace: {TraceID, Parent: the parent span's ID, Hop: the
+	// depth this caller span records}. Zero-valued, the call is a trace
+	// root candidate and head sampling decides.
+	tctx wire.TraceContext
 }
 
 // pendingCall is one issued remote invocation between its send and the
@@ -455,6 +485,11 @@ type pendingCall struct {
 	oneWay   bool
 	attempts int
 	attempt  int
+	// tctx is the call's trace inheritance handle ({TraceID, Parent:
+	// this caller span's ID, Hop: this span's depth}; zero when
+	// unsampled): a later pipelined call naming this call's future as a
+	// promise inherits its trace through it.
+	tctx wire.TraceContext
 	// issued is the wall-clock time InvokeAsync returned the future
 	// (zero on the synchronous path); await reports the blocked portion
 	// of the round trip as PhaseFutureWait from it.
@@ -487,12 +522,44 @@ func (cs *CallSite) startRemote(pc *pendingCall, n *Node, ref Ref, args []model.
 		attempts = 1
 	}
 	seq := n.seq.Add(1)
+	// First use of the link performs the HELLO fingerprint exchange;
+	// afterwards this is a bounds check plus a sync.Once fast path.
+	var lp *serial.LinkPlans
+	var linkCaps uint32
+	if l := n.linkTo(ref.Node); l != nil {
+		lp = l.lp
+		linkCaps = l.caps
+	}
 	// With tracing off this is the observability layer's entire cost on
 	// the caller: StartCaller on a nil tracer returns a nil span whose
 	// methods are no-ops.
-	sp := c.tracer.StartCaller(cs.Name, cs.Method, n.ID, ref.Node, seq)
+	sp := n.tracer.StartCaller(cs.Name, cs.Method, n.ID, ref.Node, seq)
 	if ex.oneWay {
 		sp.SetOneWay()
+	}
+	// Distributed-trace identity: an inherited context (nested call,
+	// pipelined successor) continues its trace; a root call asks the
+	// head sampler. The unsampled path costs one atomic tick at roots
+	// and nothing anywhere else.
+	tctx := ex.tctx
+	var wireCtx wire.TraceContext
+	if sp != nil {
+		if tctx.TraceID == 0 {
+			tctx.TraceID = n.tracer.SampleTrace()
+		}
+		if tctx.TraceID != 0 {
+			spanID := n.tracer.NextSpanID()
+			sp.SetTraceIdentity(tctx.TraceID, spanID, tctx.Parent, tctx.Hop)
+			pc.tctx = wire.TraceContext{TraceID: tctx.TraceID, Parent: spanID, Hop: tctx.Hop}
+			// The on-wire context parents the callee's span under this
+			// caller span, one hop deeper. Per-link demotion: a peer
+			// without CapTracing — or a chain past the hop cap — gets
+			// the frame without the context; the call still runs, the
+			// trace just ends at this link.
+			if linkCaps&wire.CapTracing != 0 && tctx.Hop < wire.MaxTraceHops {
+				wireCtx = wire.TraceContext{TraceID: tctx.TraceID, Parent: spanID, Hop: tctx.Hop + 1}
+			}
+		}
 	}
 	sp.BeginPhase(trace.PhaseSerialize)
 	m := wire.Get()
@@ -513,16 +580,18 @@ func (cs *CallSite) startRemote(pc *pendingCall, n *Node, ref Ref, args []model.
 	if len(ex.handles) > 0 {
 		flags |= callFlagPipelined
 	}
+	if wireCtx.TraceID != 0 {
+		flags |= callFlagTraceCtx
+	}
 	m.AppendByte(flags)
 	m.AppendInt32(cs.ID)
 	m.AppendInt64(ref.Obj)
 	m.AppendInt64(seq)
 	m.AppendInt32(int32(len(args)))
-	// First use of the link performs the HELLO fingerprint exchange;
-	// afterwards this is a bounds check plus a sync.Once fast path.
-	var lp *serial.LinkPlans
-	if l := n.linkTo(ref.Node); l != nil {
-		lp = l.lp
+	if wireCtx.TraceID != 0 {
+		// The trace context rides between the argument count and the
+		// promise section (see wire.AppendTraceContext for the layout).
+		wire.AppendTraceContext(m, wireCtx)
 	}
 	wargs, wplans := args, cs.argPlans
 	if len(ex.handles) > 0 {
@@ -724,12 +793,12 @@ func (pc *pendingCall) await() ([]model.Value, error) {
 					(pr.Partitioned(n.ID, pc.ref.Node) || pr.Partitioned(pc.ref.Node, n.ID)) {
 					sp.Fail("partitioned")
 					sp.End()
-					c.tracer.DumpFailure("partitioned")
+					n.tracer.DumpFailure("partitioned")
 					return nil, fmt.Errorf("rmi: %s to node %d: %w", cs.Name, pc.ref.Node, ErrPartitioned)
 				}
 				sp.Fail("timeout")
 				sp.End()
-				c.tracer.DumpFailure("timeout")
+				n.tracer.DumpFailure("timeout")
 				return nil, fmt.Errorf("rmi: %s to node %d after %d attempts of %v: %w",
 					cs.Name, pc.ref.Node, pc.attempts, pol.Timeout, ErrTimeout)
 			}

@@ -177,6 +177,11 @@ type execCtx struct {
 	// promised publishes the outcome in the promise table before (and
 	// regardless of) the reply.
 	promised bool
+	// tctx is the invocation's trace inheritance handle ({TraceID,
+	// Parent: the callee span's ID, Hop: this hop's depth}; zero when
+	// the call arrived unsampled), handed to the method through Call so
+	// nested calls stay in the tree.
+	tctx wire.TraceContext
 	// reuse returns the argument graphs to the site's §3.3 caches after
 	// the method runs; the pipelined path disables it (spliced arguments
 	// are not cache donors).
@@ -208,10 +213,17 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 	track := flags&callFlagRetryable != 0 || c.faulty
 	// traced mirrors the caller's span with a callee-side one; header
 	// and lookup errors reply before a span exists (nil span = no-op).
-	traced := c.tracer != nil && flags&callFlagTraced != 0
+	traced := n.tracer != nil && flags&callFlagTraced != 0
 	oneWay := flags&callFlagOneWay != 0
 	promised := flags&callFlagPromised != 0
 	pipelined := flags&callFlagPipelined != 0
+	// The optional trace context follows the argument count. It is read
+	// before the header error check: a hostile context fails the message
+	// and takes the same malformed path as a broken header.
+	var tctx wire.TraceContext
+	if flags&callFlagTraceCtx != 0 {
+		tctx, _ = wire.ReadTraceContext(m)
+	}
 	if m.Err() != nil {
 		// The header itself is undecodable — nothing in this frame
 		// (including seq and the flags) can be trusted, so no dedup
@@ -275,7 +287,7 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 		// The span starts at the packet's receive timestamp so the
 		// transit and plan-lookup phases measured before it existed still
 		// fall inside it.
-		sp = c.tracer.StartCallee(cs.Name, cs.Method, p.From, n.ID, seq, p.RecvWall)
+		sp = n.tracer.StartCallee(cs.Name, cs.Method, p.From, n.ID, seq, p.RecvWall)
 		if oneWay {
 			sp.SetOneWay()
 		}
@@ -284,6 +296,15 @@ func (n *Node) handleCall(p transport.Packet, m *wire.Message) {
 			sp.SetPhase(trace.PhaseTransit, p.Wall, p.RecvWall-p.Wall)
 		}
 		sp.SetVirtualTransit(arrival - p.TS)
+		if tctx.TraceID != 0 {
+			// Join the caller's sampled trace: this callee span hangs
+			// under the caller span named by the wire context, and
+			// everything the method does (via Call.TraceContext) hangs
+			// under this span at the same hop depth.
+			calleeSpan := n.tracer.NextSpanID()
+			sp.SetTraceIdentity(tctx.TraceID, calleeSpan, tctx.Parent, tctx.Hop)
+			ec.tctx = wire.TraceContext{TraceID: tctx.TraceID, Parent: calleeSpan, Hop: tctx.Hop}
+		}
 	}
 
 	// The promise section rides between the argument count and the
@@ -390,7 +411,7 @@ func (n *Node) rejectCall(ec execCtx, floor int64, msg string, sp *trace.Span, m
 		c.Counters.OneWayErrors.Add(1)
 		sp.Fail(msg)
 		sp.End()
-		c.tracer.DumpFailure("oneway-error")
+		n.tracer.DumpFailure("oneway-error")
 		return
 	}
 	if malformed {
@@ -516,7 +537,7 @@ func (ec execCtx) promisedReject(n *Node, msg string, sp *trace.Span) {
 // converted into a remote-exception reply carrying the callee's stack.
 func (n *Node) executeAndReply(cs *CallSite, method Method, ec execCtx, args []model.Value, roots []*model.Object, sp *trace.Span) {
 	c := n.cluster
-	call := &Call{Node: n, From: ec.from, Site: cs, start: ec.start}
+	call := &Call{Node: n, From: ec.from, Site: cs, start: ec.start, tctx: ec.tctx}
 	var rets []model.Value
 	sp.BeginPhase(trace.PhaseExecute)
 	err := func() (err error) {
@@ -558,7 +579,7 @@ func (n *Node) executeAndReply(cs *CallSite, method Method, ec execCtx, args []m
 			}
 			sp.Fail(err.Error())
 			sp.End()
-			c.tracer.DumpFailure("oneway-error")
+			n.tracer.DumpFailure("oneway-error")
 			return
 		}
 		// A panic is one of the flight recorder's auto-dump triggers;

@@ -146,7 +146,7 @@ func (n *Node) noteMalformed(from int) {
 	c := n.cluster
 	c.Counters.MalformedFrames.Add(1)
 	if l := n.linkTo(from); l != nil && l.malformedDumped.CompareAndSwap(false, true) {
-		c.tracer.DumpFailure("malformed-frame")
+		n.tracer.DumpFailure("malformed-frame")
 	}
 }
 

@@ -125,6 +125,13 @@ type Call struct {
 	// reported; together they floor the reply timestamp.
 	start    int64
 	computed int64
+
+	// tctx is the invocation's distributed-trace inheritance handle
+	// (zero when the call was not sampled): the trace ID, this callee
+	// span's ID as the parent for descendants, and this hop's depth.
+	// Nested calls issued through InvokeFrom (or an AsyncOpts.Trace
+	// carrying it) join the caller's cross-node call tree.
+	tctx wire.TraceContext
 }
 
 // Compute advances the executing node's virtual clock by ns
@@ -136,6 +143,13 @@ func (c *Call) Compute(ns int64) {
 
 // Start returns the invocation's virtual start time.
 func (c *Call) Start() int64 { return c.start }
+
+// TraceContext returns the invocation's distributed-trace context —
+// zero when the call was not sampled. Methods issuing nested RMIs
+// through a bare CallSite.Invoke break the trace at this hop; use
+// InvokeFrom (or pass the context via AsyncOpts.Trace) to keep the
+// cross-node call tree connected.
+func (c *Call) TraceContext() wire.TraceContext { return c.tctx }
 
 // WaitUntil raises the invocation's completion floor to ts without
 // charging CPU time — condition waits (e.g. a barrier's release) delay
@@ -238,8 +252,9 @@ type clusterOpts struct {
 	claimEvery int64
 	skew       map[int][]string
 	capsMask   map[int]uint32
-	batch      *BatchConfig
-	promiseCap int
+	batch       *BatchConfig
+	promiseCap  int
+	nodeTracers map[int]*trace.Tracer
 }
 
 // WithNetwork runs the cluster over an externally created network
@@ -283,6 +298,21 @@ func WithDedupCap(n int) Option {
 // shared across clusters; call sites are keyed by name.
 func WithTracer(t *trace.Tracer) Option {
 	return func(o *clusterOpts) { o.tracer = t }
+}
+
+// WithNodeTracer gives one node its own tracer, overriding the
+// cluster-wide WithTracer default for spans that node records (caller
+// spans of calls it issues, callee spans of calls it serves). An
+// in-process cluster standing in for N machines uses this to give each
+// "machine" its own flight recorder and trace store, so the /traces
+// cross-node reconstruction exercises genuinely separate stores.
+func WithNodeTracer(node int, t *trace.Tracer) Option {
+	return func(o *clusterOpts) {
+		if o.nodeTracers == nil {
+			o.nodeTracers = make(map[int]*trace.Tracer)
+		}
+		o.nodeTracers[node] = t
+	}
 }
 
 // ClaimCheckPolicy configures the audit-mode claim checker. On every
@@ -382,6 +412,9 @@ func New(n int, opts ...Option) *Cluster {
 	c.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
 		c.nodes[i] = newNode(c, i)
+		if t, ok := o.nodeTracers[i]; ok {
+			c.nodes[i].tracer = t
+		}
 	}
 	for _, nd := range c.nodes {
 		c.wg.Add(1)
@@ -584,6 +617,10 @@ type Node struct {
 	// per cluster node; nil slots (and a nil slice, when batching is
 	// off) send directly. See batch.go.
 	batchers []*linkBatcher
+
+	// tracer records this node's spans: the cluster tracer by default,
+	// or a per-node override (WithNodeTracer). nil = tracing off.
+	tracer *trace.Tracer
 }
 
 // dedupKey identifies one call attempt stream: sequence numbers are
@@ -626,6 +663,7 @@ func newNode(c *Cluster, id int) *Node {
 		pending: make(map[int64]chan reply),
 		dedup:   make(map[dedupKey]*dedupEntry),
 		links:   make([]nodeLink, len(c.nodes)),
+		tracer:  c.tracer,
 	}
 	if c.batch != nil {
 		n.batchers = make([]*linkBatcher, len(c.nodes))
@@ -640,6 +678,10 @@ func newNode(c *Cluster, id int) *Node {
 
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Tracer returns the tracer recording this node's spans (the cluster
+// tracer unless overridden by WithNodeTracer; nil when tracing is off).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Export publishes a service on this node and returns its remote
 // reference. Export order must match across processes in distributed

@@ -39,7 +39,10 @@ type Exemplar struct {
 	CapturedWall int64        `json:"captured_wall_ns"`
 	Err          string       `json:"err,omitempty"`
 	Retries      int          `json:"retries,omitempty"`
-	Blame        string       `json:"blame"`
+	// TraceID links a sampled slow call to its distributed trace
+	// (/traces/<id>); zero when the call was not sampled.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	Blame   string `json:"blame"`
 	Caller       []PhaseSlice `json:"caller"`
 	Callee       []PhaseSlice `json:"callee,omitempty"`
 	// Spans carries the raw records for the Perfetto export
@@ -87,6 +90,7 @@ func (t *Tracer) captureExemplar(st *siteState, rec *SpanRecord, tot int64) {
 		Site: rec.Site, Method: rec.Method, From: rec.From, To: rec.To,
 		Seq: rec.Seq, TotalNS: tot, ThresholdNS: st.threshold.Load(),
 		CapturedWall: Now(), Err: rec.Err, Retries: rec.Retries,
+		TraceID: rec.TraceID,
 	}
 	ex.Spans = append(ex.Spans, *rec)
 

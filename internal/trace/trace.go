@@ -118,35 +118,46 @@ func Now() int64 { return time.Now().UnixNano() }
 
 // SpanRecord is the immutable value copy of a closed span that the
 // flight recorder retains and the exporters read. Both halves of one
-// call share (From, Seq) — the RMI runtime's call id.
+// call share (From, Seq) — the RMI runtime's call id. The JSON tags
+// are the /traces/<id> wire shape, which peers decode verbatim during
+// cross-node tree reconstruction.
 type SpanRecord struct {
-	Site   string
-	Method string
-	From   int // invoking node
-	To     int // serving node
-	Seq    int64
-	Kind   Kind
-	Start  int64 // wall ns (trace.Now)
-	End    int64
-	Err    string
+	Site   string `json:"site"`
+	Method string `json:"method"`
+	From   int    `json:"from"` // invoking node
+	To     int    `json:"to"`   // serving node
+	Seq    int64  `json:"seq"`
+	Kind   Kind   `json:"kind"`
+	Start  int64  `json:"start"` // wall ns (trace.Now)
+	End    int64  `json:"end"`
+	Err    string `json:"err,omitempty"`
 	// Retries is the number of retransmissions this call needed
 	// (caller span only).
-	Retries int
+	Retries int `json:"retries,omitempty"`
 	// VirtualTransitNS is the cost-model (virtual time) transit of the
 	// call message (callee span only).
-	VirtualTransitNS int64
+	VirtualTransitNS int64 `json:"virtual_transit_ns,omitempty"`
 	// OneWay marks fire-and-forget calls: the caller half ends at wire
 	// handoff and the callee half never serializes a reply, so a short
 	// span is expected, not truncated.
-	OneWay bool
+	OneWay bool `json:"one_way,omitempty"`
 	// Batch is the sub-frame count of a batch-flush span (RecordFlush);
 	// zero on ordinary call spans. Flush spans carry only PhaseBatchWait
 	// and are excluded from per-call attribution totals.
-	Batch int
+	Batch int `json:"batch,omitempty"`
+	// TraceID names the cross-node trace this span belongs to; zero on
+	// unsampled calls (the common case). SpanID is this span's own
+	// identity within the trace, ParentID the span that caused it (zero
+	// for the root), and Hop the wire-hop distance from the root node.
+	// See DESIGN.md §15.
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Hop      uint8  `json:"hop,omitempty"`
 	// PhaseStart/PhaseDur hold each phase's wall start and duration;
 	// a zero duration means the phase was not recorded by this half.
-	PhaseStart [NumPhases]int64
-	PhaseDur   [NumPhases]int64
+	PhaseStart [NumPhases]int64 `json:"phase_start"`
+	PhaseDur   [NumPhases]int64 `json:"phase_dur"`
 }
 
 // Span is one in-flight traced call half. Spans are pooled: after End
@@ -212,6 +223,17 @@ func (s *Span) SetOneWay() {
 	s.OneWay = true
 }
 
+// SetTraceIdentity stamps the span's distributed-tracing identity: the
+// trace it belongs to, its own span ID, the parent span that caused it
+// and its wire-hop distance from the root. A span with a trace ID is
+// retained in the tracer's per-trace store on close.
+func (s *Span) SetTraceIdentity(traceID, spanID, parentID uint64, hop uint8) {
+	if s == nil {
+		return
+	}
+	s.TraceID, s.SpanID, s.ParentID, s.Hop = traceID, spanID, parentID, hop
+}
+
 // Fail marks the span failed. The failure classes the flight recorder
 // auto-dumps on (timeout, partition, panic) additionally call
 // Tracer.DumpFailure.
@@ -265,6 +287,20 @@ type Config struct {
 	// Zero means no floor. Tests use a huge floor to keep capture armed
 	// but never firing.
 	ExemplarMinNS int64
+	// SampleEvery arms head-based trace sampling: every SampleEvery-th
+	// root call (a remote invocation with no inherited trace context)
+	// allocates a trace ID that then propagates on the wire through
+	// every downstream hop. Zero — the default — disables distributed
+	// tracing entirely; per-call spans and attribution still run. The
+	// decision is a deterministic counter, not an RNG, so the unsampled
+	// hot path pays one atomic add and allocates nothing.
+	SampleEvery int64
+	// MaxTraces bounds the per-trace span store (default 256 traces,
+	// FIFO eviction; evicted buckets are recycled).
+	MaxTraces int
+	// MaxSpansPerTrace bounds one trace's retained spans (default 512);
+	// overflow spans are counted as dropped, not stored.
+	MaxSpansPerTrace int
 }
 
 // siteState is everything the tracer tracks per call site: the
@@ -319,6 +355,16 @@ type Tracer struct {
 	exemplarsTotal atomic.Int64
 	dumpMu         sync.Mutex
 	dumps          int
+
+	// Distributed-tracing state: idBase makes this tracer's trace and
+	// span IDs disjoint from other tracers' (each obs node runs its
+	// own), sampleTick drives the deterministic head-sampling decision,
+	// and store retains the sampled spans per trace ID.
+	idBase     uint64
+	sampleTick atomic.Int64
+	traceSeq   atomic.Uint64
+	spanSeq    atomic.Uint64
+	store      *traceStore
 }
 
 // New creates a tracer.
@@ -342,6 +388,12 @@ func New(cfg Config) *Tracer {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 256
+	}
+	if cfg.MaxSpansPerTrace <= 0 {
+		cfg.MaxSpansPerTrace = 512
+	}
 	t := &Tracer{
 		cfg:      cfg,
 		reg:      reg,
@@ -349,9 +401,65 @@ func New(cfg Config) *Tracer {
 		totalFam: reg.Family("cormi_call_latency_ns", "per call-site caller-observed end-to-end RMI latency in nanoseconds"),
 		ring:     make([]SpanRecord, cfg.RingSize),
 		exs:      make([]Exemplar, cfg.ExemplarRing),
+		idBase:   newIDBase(),
+		store:    newTraceStore(cfg.MaxTraces, cfg.MaxSpansPerTrace),
 	}
 	t.pool.New = func() any { return new(Span) }
 	return t
+}
+
+// tracerSeq distinguishes tracers created within the same clock tick,
+// so their ID bases never coincide even in one process.
+var tracerSeq atomic.Uint64
+
+// newIDBase derives a well-mixed per-tracer 64-bit base for trace and
+// span IDs. Uniqueness across tracers (and across nodes of a real
+// deployment) is probabilistic — the tree assembler tolerates
+// collisions — so a mixed timestamp is enough; no RNG dependency.
+func newIDBase() uint64 {
+	return mix64(uint64(time.Now().UnixNano()) + tracerSeq.Add(1)*0x9E3779B97F4A7C15)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// SampleTrace makes the head-based sampling decision for one root call
+// and returns the new trace ID, or zero when the call is not sampled
+// (including whenever sampling is disarmed or the tracer is nil). The
+// unsampled path is one atomic add and a branch — no allocation.
+func (t *Tracer) SampleTrace() uint64 {
+	if t == nil || t.cfg.SampleEvery <= 0 {
+		return 0
+	}
+	if (t.sampleTick.Add(1)-1)%t.cfg.SampleEvery != 0 {
+		return 0
+	}
+	id := mix64(t.idBase ^ t.traceSeq.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// NextSpanID allocates a span ID unique within this tracer and — by
+// the mixed per-tracer base — disjoint from other tracers' with
+// overwhelming probability. Called only on sampled spans.
+func (t *Tracer) NextSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	id := mix64(t.idBase + t.spanSeq.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Registry returns the metrics registry the tracer records into.
@@ -473,6 +581,14 @@ func (t *Tracer) close(s *Span) {
 	t.ring[t.ringN%uint64(len(t.ring))] = s.SpanRecord
 	t.ringN++
 	t.ringMu.Unlock()
+
+	// Sampled spans are additionally retained per trace ID so the
+	// /traces endpoints can reconstruct the cross-node call tree. Only
+	// spans carrying a trace ID pay this (head sampling made that
+	// decision at the root); buckets are recycled across evictions.
+	if s.TraceID != 0 {
+		t.store.insert(&s.SpanRecord)
+	}
 
 	if slow {
 		// Rare by construction (past the site's p99), so the capture

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mkSpan builds one span record for reconstruction tests.
+func mkSpan(traceID, spanID, parentID uint64, hop uint8, kind Kind, from, to int, seq, start, end int64) SpanRecord {
+	return SpanRecord{
+		Site: "T.m.1", Method: "m", From: from, To: to, Seq: seq,
+		Kind: kind, Start: start, End: end,
+		TraceID: traceID, SpanID: spanID, ParentID: parentID, Hop: hop,
+	}
+}
+
+// TestBuildTreeAlignsOffsetsLargerThanSpans reconstructs a two-node
+// trace whose callee clock runs a full millisecond ahead — orders of
+// magnitude more than any span's duration. Unaligned, the callee span
+// would start long after the whole trace ended; the transit stamp
+// pairs must recover the offset exactly and rebase the callee inside
+// its caller's window.
+func TestBuildTreeAlignsOffsetsLargerThanSpans(t *testing.T) {
+	const off = int64(1_000_000) // callee clock = caller clock + 1ms
+	caller := mkSpan(7, 1, 0, 0, KindCaller, 0, 1, 10, 1000, 1600)
+	callee := mkSpan(7, 2, 1, 1, KindCallee, 0, 1, 10, 1200+off, 1400+off)
+	// True transit 100ns each way: t1=1100 (caller clock), t2 on the
+	// callee clock; reply t3 on the callee clock, t4=1500 (caller).
+	callee.PhaseDur[PhaseTransit] = (1200 + off) - 1100      // t2 - t1
+	caller.PhaseDur[PhaseReplyTransit] = 1500 - (1400 + off) // t4 - t3
+
+	tree := BuildTree(7, []NodeSpans{
+		{Node: "a", Spans: []SpanRecord{caller}},
+		{Node: "b", Spans: []SpanRecord{callee}},
+	})
+	if len(tree.Spans) != 2 || len(tree.Roots) != 1 {
+		t.Fatalf("got %d spans, %d roots, want 2 and 1", len(tree.Spans), len(tree.Roots))
+	}
+	var cal, cee *TreeSpan
+	for i := range tree.Spans {
+		if tree.Spans[i].Kind == KindCallee.String() {
+			cee = &tree.Spans[i]
+		} else {
+			cal = &tree.Spans[i]
+		}
+	}
+	if cee.OffsetNS != off {
+		t.Errorf("callee offset %d, want the injected %d", cee.OffsetNS, off)
+	}
+	if cee.StartNS != 1200 {
+		t.Errorf("aligned callee start %d, want 1200 (rebased onto the caller clock)", cee.StartNS)
+	}
+	if cee.StartNS < cal.StartNS || cee.StartNS+cee.DurNS > cal.StartNS+cal.DurNS {
+		t.Errorf("aligned callee [%d,%d] outside caller window [%d,%d]",
+			cee.StartNS, cee.StartNS+cee.DurNS, cal.StartNS, cal.StartNS+cal.DurNS)
+	}
+	if tree.EndToEndNS != 600 {
+		t.Errorf("end-to-end %dns, want the caller's 600ns window", tree.EndToEndNS)
+	}
+	if tree.CriticalPathNS <= 0 || tree.CriticalPathNS > tree.EndToEndNS {
+		t.Errorf("critical path %dns outside (0, %d]", tree.CriticalPathNS, tree.EndToEndNS)
+	}
+}
+
+// TestBuildTreeOrphanSpans grafts spans whose parent is missing
+// (unsampled parent, unreachable node, evicted bucket) in as extra
+// roots instead of dropping their subtrees.
+func TestBuildTreeOrphanSpans(t *testing.T) {
+	root := mkSpan(9, 1, 0, 0, KindCaller, 0, 1, 1, 100, 500)
+	// Parent span 50 was never retained; its callee child and that
+	// child's own child must still render, connected to each other.
+	orphan := mkSpan(9, 3, 50, 1, KindCallee, 0, 1, 2, 200, 400)
+	grand := mkSpan(9, 4, 3, 1, KindCaller, 1, 2, 3, 250, 350)
+	tree := BuildTree(9, []NodeSpans{{Node: "a", Spans: []SpanRecord{root, orphan, grand}}})
+	if tree.Orphans != 1 {
+		t.Fatalf("Orphans = %d, want 1", tree.Orphans)
+	}
+	if len(tree.Roots) != 2 {
+		t.Fatalf("%d roots, want 2 (true root + grafted orphan)", len(tree.Roots))
+	}
+	var o *TreeSpan
+	for i := range tree.Spans {
+		if tree.Spans[i].SpanID == 3 {
+			o = &tree.Spans[i]
+		}
+	}
+	if o == nil || !o.Orphan {
+		t.Fatal("span 3 not flagged orphan")
+	}
+	if len(o.Children) != 1 || tree.Spans[o.Children[0]].SpanID != 4 {
+		t.Errorf("orphan subtree lost its child: %+v", o.Children)
+	}
+	// The primary root for the end-to-end window must be the real
+	// (non-orphan) root.
+	if tree.Spans[tree.Roots[0]].SpanID != 1 && tree.Spans[tree.Roots[1]].SpanID != 1 {
+		t.Error("true root missing from roots")
+	}
+	if tree.EndToEndNS != 400 {
+		t.Errorf("end-to-end %d, want 400 (root start 100 to latest end 500)", tree.EndToEndNS)
+	}
+}
+
+// TestBuildTreeDuplicateSpans discards redeliveries both ways a retry
+// can produce them: the exact same span ID fetched from two stores,
+// and the same call half re-executed under a fresh span ID after a
+// dedup-cache eviction (same kind/from/seq).
+func TestBuildTreeDuplicateSpans(t *testing.T) {
+	root := mkSpan(11, 1, 0, 0, KindCaller, 0, 1, 1, 100, 500)
+	callee := mkSpan(11, 2, 1, 1, KindCallee, 0, 1, 1, 200, 300)
+	sameID := callee
+	reexec := mkSpan(11, 6, 1, 1, KindCallee, 0, 1, 1, 350, 450)
+	tree := BuildTree(11, []NodeSpans{
+		{Node: "a", Spans: []SpanRecord{root}},
+		{Node: "b", Spans: []SpanRecord{callee, reexec}},
+		{Node: "b2", Spans: []SpanRecord{sameID}},
+	})
+	if tree.Duplicates != 2 {
+		t.Fatalf("Duplicates = %d, want 2 (same-ID copy + re-executed half)", tree.Duplicates)
+	}
+	if len(tree.Spans) != 2 {
+		t.Fatalf("%d spans retained, want 2", len(tree.Spans))
+	}
+	for i := range tree.Spans {
+		if tree.Spans[i].SpanID == 6 {
+			t.Error("re-executed span 6 retained; the first execution should win")
+		}
+	}
+	if len(tree.Roots) != 1 || tree.Orphans != 0 {
+		t.Errorf("roots=%d orphans=%d, want a single clean root", len(tree.Roots), tree.Orphans)
+	}
+}
+
+// TestBuildTreeOneWayLeaf reconstructs a trace ending in a one-way
+// call: the callee half records no reply transit, so clock alignment
+// falls back to the one-sided (transit-biased) sample, and the one-way
+// callee is a leaf that can carry the critical path's tail.
+func TestBuildTreeOneWayLeaf(t *testing.T) {
+	root := mkSpan(13, 1, 0, 0, KindCaller, 0, 1, 1, 100, 300)
+	root.OneWay = true // caller half ends at wire handoff
+	callee := mkSpan(13, 2, 1, 1, KindCallee, 0, 1, 1, 400, 900)
+	callee.OneWay = true
+	callee.PhaseDur[PhaseTransit] = 150 // one-sided sample only
+	tree := BuildTree(13, []NodeSpans{
+		{Node: "a", Spans: []SpanRecord{root}},
+		{Node: "b", Spans: []SpanRecord{callee}},
+	})
+	var leaf *TreeSpan
+	for i := range tree.Spans {
+		if tree.Spans[i].SpanID == 2 {
+			leaf = &tree.Spans[i]
+		}
+	}
+	if leaf == nil {
+		t.Fatal("one-way callee missing from tree")
+	}
+	if !leaf.OneWay || len(leaf.Children) != 0 {
+		t.Errorf("one-way callee not a leaf: oneway=%v children=%v", leaf.OneWay, leaf.Children)
+	}
+	// The weak sample is the whole transit duration: offset estimate
+	// d1 = 150, so the callee rebases from 400 to 250.
+	if leaf.OffsetNS != 150 || leaf.StartNS != 250 {
+		t.Errorf("one-way alignment: offset=%d start=%d, want 150 and 250", leaf.OffsetNS, leaf.StartNS)
+	}
+	// The callee outlives the caller (fire-and-forget): it is the
+	// latest-ending span and must terminate the critical path.
+	if n := len(tree.CriticalPath); n == 0 || tree.CriticalPath[n-1] != 2 {
+		t.Errorf("critical path %v should end at the one-way leaf", tree.CriticalPath)
+	}
+	if !leaf.Critical {
+		t.Error("one-way leaf not marked critical")
+	}
+}
+
+// TestBuildTreeEmptyAndForeign ignores spans of other traces and
+// returns an empty tree rather than failing when nothing matches.
+func TestBuildTreeEmptyAndForeign(t *testing.T) {
+	other := mkSpan(99, 1, 0, 0, KindCaller, 0, 1, 1, 100, 200)
+	tree := BuildTree(5, []NodeSpans{{Node: "a", Spans: []SpanRecord{other}}})
+	if len(tree.Spans) != 0 || len(tree.Roots) != 0 || tree.EndToEndNS != 0 {
+		t.Fatalf("foreign spans leaked into the tree: %+v", tree)
+	}
+}
+
+// TestWriteChromeMerged pins the merged Perfetto dump's shape: one
+// process per node, aligned timestamps, and the critical category on
+// critical-path spans.
+func TestWriteChromeMerged(t *testing.T) {
+	const off = int64(1_000_000)
+	caller := mkSpan(7, 1, 0, 0, KindCaller, 0, 1, 10, 1000, 1600)
+	callee := mkSpan(7, 2, 1, 1, KindCallee, 0, 1, 10, 1200+off, 1400+off)
+	callee.PhaseDur[PhaseTransit] = (1200 + off) - 1100
+	caller.PhaseDur[PhaseReplyTransit] = 1500 - (1400 + off)
+	tree := BuildTree(7, []NodeSpans{
+		{Node: "a", Spans: []SpanRecord{caller}},
+		{Node: "b", Spans: []SpanRecord{callee}},
+	})
+	var buf bytes.Buffer
+	if err := WriteChromeMerged(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	var critical int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			pids[ev["pid"].(float64)] = true
+			if ev["cat"] == "critical" {
+				critical++
+			}
+		}
+	}
+	if len(pids) != 2 {
+		t.Errorf("%d process groups, want one per node (2)", len(pids))
+	}
+	if critical == 0 {
+		t.Error("no span carries the critical category")
+	}
+	if !strings.Contains(buf.String(), "process_name") {
+		t.Error("process metadata events missing")
+	}
+}

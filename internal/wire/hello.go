@@ -68,9 +68,15 @@ const (
 	CapOneWay uint32 = 1 << 1
 	// CapBatching: the peer decodes msgBatch container frames.
 	CapBatching uint32 = 1 << 2
+	// CapTracing: the peer decodes the optional trace-context field in
+	// call frames (callFlagTraceCtx at the RMI layer). A link to a peer
+	// without this bit drops the context — the call still runs, its
+	// downstream spans just fall out of the trace — instead of sending
+	// a frame the peer would reject as malformed.
+	CapTracing uint32 = 1 << 3
 
 	// LocalCaps is the capability set this build advertises.
-	LocalCaps = CapPipelining | CapOneWay | CapBatching
+	LocalCaps = CapPipelining | CapOneWay | CapBatching | CapTracing
 )
 
 // HelloEntry is one class fingerprint: the class name and the hash of

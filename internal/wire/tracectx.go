@@ -1,0 +1,88 @@
+package wire
+
+import "fmt"
+
+// Trace context: the distributed-tracing identity a traced call carries
+// on the wire so every hop of a multi-node request chain lands in the
+// same cross-node call tree.
+//
+// The context is deliberately tiny — 17 bytes — and optional: it is
+// present in a call frame only when the callFlagTraceCtx flag bit is
+// set, so the untraced hot path writes and reads nothing. When present
+// it sits between the call header's argument count and the promise
+// section, i.e. before anything variable-length, so a hardened decoder
+// rejects a truncated context before any allocation happens.
+//
+// Like every other field decoded off the wire, the context is hostile
+// input: a zero trace ID, an over-limit hop count, or a short read all
+// reject with ErrMalformedFrame (fuzzed by FuzzTraceContext).
+
+const (
+	// MaxTraceHops caps the hop counter carried in a trace context. A
+	// legitimate chain is bounded by the program's call depth (the
+	// deepest bundled workload is a depth-8 pipelined chain); 64 is far
+	// above any real topology and stops a hostile or looping peer from
+	// growing the counter without bound.
+	MaxTraceHops = 64
+
+	// traceCtxBytes is the encoded size: trace ID (8) + parent span ID
+	// (8) + hop count (1).
+	traceCtxBytes = 8 + 8 + 1
+)
+
+// TraceContext is the per-request identity propagated hop to hop:
+// which trace the call belongs to, which span caused it, and how many
+// wire hops the trace has taken so far. The sampling decision is
+// carried implicitly — an unsampled call simply has no context on the
+// wire — so there is no separate sampling bit to keep consistent.
+type TraceContext struct {
+	// TraceID names the whole cross-node tree. Allocated once at the
+	// root call site; never zero on the wire (zero is the in-memory
+	// "not sampled" value).
+	TraceID uint64
+	// Parent is the span ID of the caller-side span that issued this
+	// call — the edge the callee's span hangs off when the tree is
+	// reassembled. Zero only for a root span's own context.
+	Parent uint64
+	// Hop counts wire hops from the root (root's first call is hop 0).
+	// Bounded by MaxTraceHops.
+	Hop uint8
+}
+
+// Valid reports whether the context can legally appear on the wire.
+func (c TraceContext) Valid() bool {
+	return c.TraceID != 0 && c.Hop <= MaxTraceHops
+}
+
+// AppendTraceContext writes c after the current end of m. The caller
+// must have validated c (Valid); writing is infallible.
+func AppendTraceContext(m *Message, c TraceContext) {
+	m.AppendInt64(int64(c.TraceID))
+	m.AppendInt64(int64(c.Parent))
+	m.AppendByte(c.Hop)
+}
+
+// ReadTraceContext decodes a trace context at m's read position. Every
+// rejection — truncated bytes, a zero trace ID, an over-limit hop
+// count — wraps ErrMalformedFrame and leaves m failed so the enclosing
+// frame decode aborts.
+func ReadTraceContext(m *Message) (TraceContext, error) {
+	var c TraceContext
+	c.TraceID = uint64(m.ReadInt64())
+	c.Parent = uint64(m.ReadInt64())
+	c.Hop = m.ReadU8()
+	if err := m.Err(); err != nil {
+		return TraceContext{}, err
+	}
+	if c.TraceID == 0 {
+		err := fmt.Errorf("%w: zero trace id in trace context", ErrMalformedFrame)
+		m.Fail(err)
+		return TraceContext{}, err
+	}
+	if c.Hop > MaxTraceHops {
+		err := fmt.Errorf("%w: trace context hop count %d (cap %d)", ErrMalformedFrame, c.Hop, MaxTraceHops)
+		m.Fail(err)
+		return TraceContext{}, err
+	}
+	return c, nil
+}
