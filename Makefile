@@ -3,7 +3,7 @@
 # concurrency-heavy; -race is part of its acceptance criteria), and
 # end-to-end smokes of the observability endpoints and the optimizer
 # decision explainer.
-.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async verify-attrib verify-dtrace fuzz
+.PHONY: verify test bench verify-perf obs-smoke explain-smoke verify-precision verify-async verify-attrib verify-dtrace verify-analysis fuzz
 
 verify:
 	go vet ./...
@@ -15,6 +15,7 @@ verify:
 	$(MAKE) verify-async
 	$(MAKE) verify-attrib
 	$(MAKE) verify-dtrace
+	$(MAKE) verify-analysis
 	$(MAKE) fuzz
 
 test:
@@ -42,7 +43,7 @@ explain-smoke:
 # regression fails; an intended improvement needs a reviewed golden
 # update (UPDATE_GOLDEN=1 go test ./internal/harness -run TestVerdictMatrix).
 verify-precision:
-	go test -count=1 -run 'TestVerdictMatrix|TestPrecisionGain|TestContextBudgetBoundsBlowup' ./internal/harness
+	go test -count=1 -run 'TestVerdictMatrix|TestPrecisionGain|TestContextBudgetBoundsBlowup|TestAnalysisDeterminism' ./internal/harness
 
 # Async chaos gate: the chained futures + promise-pipelining workload
 # must complete with exactly-once execution at every optimization
@@ -77,9 +78,23 @@ verify-dtrace:
 	go test -count=1 -run 'TestUntracedWithSamplingArmedAllocs|TestSampledPathAllocs' ./internal/apps/micro
 	go test -count=1 -run 'TestDTraceChainReconstructsSingleTree|TestBuildTree' ./internal/harness ./internal/trace
 
+# Analysis-at-scale gate (DESIGN.md §16): the 2k-function generated
+# corpus must analyze inside the wall budget with the expected region
+# structure and zero context-budget fallbacks; a one-function edit on a
+# warm summary cache must re-analyze under 10% of the corpus and merge
+# to a result bit-identical to a cold run; with >= 2 CPUs the parallel
+# cold run must beat sequential by 2x (single-core machines skip the
+# speedup measurement only). Incremental-invalidation edge cases
+# (recursive SCCs, edge add/remove, corrupted cache files) are pinned
+# by the unit tests in internal/heap and internal/heap/sched.
+verify-analysis:
+	go test -count=1 -run 'TestAnalysisCorpusGate|TestAnalysisIncrementalGate|TestAnalysisParallelSpeedup' ./internal/harness
+	go test -count=1 -run 'TestIncremental|TestSummary' ./internal/heap ./internal/heap/sched ./internal/heap/gen
+
 # Short native-fuzzing pass over the adversarial decode surfaces:
 # the HELLO handshake decoder, the value/reference payload decoder,
-# and the wire trace-context codec. Each target always replays its
+# the wire trace-context codec, and the analysis summary-cache
+# decoder. Each target always replays its
 # checked-in seed corpus (testdata/fuzz/) and then mutates for a few
 # seconds. Properties: no panics, typed ErrMalformedFrame on every
 # rejection, balanced read-context pool. Longer runs: FUZZTIME=10m make fuzz.
@@ -88,6 +103,7 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/wire
 	go test -run '^$$' -fuzz FuzzTraceContext -fuzztime $(FUZZTIME) ./internal/wire
 	go test -run '^$$' -fuzz FuzzReadValues -fuzztime $(FUZZTIME) ./internal/serial
+	go test -run '^$$' -fuzz FuzzSummaryDecode -fuzztime $(FUZZTIME) ./internal/heap
 
 # Regenerate the human-readable Go benchmarks and the machine-readable
 # perf baseline consumed by benchdiff (commit BENCH_rmibench.json when

@@ -112,6 +112,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// The cost section gates the analysis scheduler/cache economics:
+	// deterministic counters exact-match the baseline, one edit must
+	// re-analyze under 10% of the corpus, and cold wall time may not
+	// blow up asymptotically.
+	if regs := harness.CompareCost(base, cur); len(regs) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d analysis-cost failure(s) vs %s:\n", len(regs), fs.Arg(0))
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	}
+
 	if regs := harness.CompareBench(base, cur, opts); len(regs) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), fs.Arg(0))
 		for _, r := range regs {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cormi/internal/apps/lu"
 	"cormi/internal/apps/micro"
@@ -37,6 +38,8 @@ import (
 	"cormi/internal/apps/webserver"
 	"cormi/internal/core"
 	"cormi/internal/harness"
+	"cormi/internal/heap"
+	"cormi/internal/model"
 	"cormi/internal/serial"
 )
 
@@ -78,6 +81,10 @@ func main() {
 	explainSmoke := flag.Bool("explain-smoke", false, "self-validate the explain reports of every bundled example")
 	fingerprints := flag.Bool("fingerprints", false, "print the per-class plan fingerprints the compiled program would advertise in its HELLO")
 	verdictMatrix := flag.String("verdict-matrix", "", "compile every *.jp under the directory and print the verdict matrix")
+	analysisStats := flag.Bool("analysis-stats", false, "print the analysis cost table (structure, precision effort, cache economics)")
+	analysisStatsJSON := flag.Bool("analysis-stats-json", false, "print the analysis cost as JSON (schema "+heap.CostSchema+")")
+	analysisCache := flag.String("analysis-cache", "", "persist/reuse region summaries under this directory (incremental analysis)")
+	analysisWorkers := flag.Int("analysis-workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *explainSmoke {
@@ -114,10 +121,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := core.Compile(src)
+	label := "example"
+	if flag.NArg() == 1 {
+		label = flag.Arg(0)
+	}
+
+	copts := core.Options{}
+	if *analysisCache != "" || *analysisWorkers != 0 {
+		ho := heap.DefaultOptions()
+		ho.CacheDir = *analysisCache
+		ho.Workers = *analysisWorkers
+		copts.HeapOpts = &ho
+	}
+	res, err := core.CompileOpts(src, model.NewRegistry(), copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rmic: %v\n", err)
 		os.Exit(1)
+	}
+	if n := res.Heap.Cost.BudgetFallbacks; n > 0 {
+		fmt.Fprintf(os.Stderr, "rmic: warning: context budget demoted %d call sites to the merged context (%s); precision is degraded — see -analysis-stats\n",
+			n, strings.Join(res.Heap.Cost.FallbackFuncs, ", "))
 	}
 
 	any := false
@@ -175,12 +198,21 @@ func main() {
 			fmt.Printf("%-24s %016x\n", n, fps[n])
 		}
 	}
+	if *analysisStats || *analysisStatsJSON {
+		any = true
+		if *analysisStatsJSON {
+			b, err := res.Heap.Cost.JSON(label)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmic: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(res.Heap.Cost.Format())
+		}
+	}
 	if *explain || *explainJSON {
 		any = true
-		label := "example"
-		if flag.NArg() == 1 {
-			label = flag.Arg(0)
-		}
 		rep := res.Explain(label)
 		if *explainJSON {
 			enc := json.NewEncoder(os.Stdout)

@@ -20,9 +20,20 @@ const ExplainSchema = "cormi-explain/1"
 // and, where an optimization was denied, the heap-analysis witness
 // that denied it.
 type ExplainReport struct {
-	Schema string         `json:"schema"`
-	Source string         `json:"source,omitempty"`
-	Sites  []SiteDecision `json:"sites"`
+	Schema   string         `json:"schema"`
+	Source   string         `json:"source,omitempty"`
+	Analysis *AnalysisNote  `json:"analysis,omitempty"`
+	Sites    []SiteDecision `json:"sites"`
+}
+
+// AnalysisNote summarizes how the heap analysis itself behaved on this
+// program — in particular whether the context budget silently demoted
+// any call sites to the merged context (a precision loss that would
+// otherwise be invisible in the per-site decisions).
+type AnalysisNote struct {
+	Contexts        int      `json:"contexts"`
+	BudgetFallbacks int      `json:"budget_fallbacks"`
+	FallbackFuncs   []string `json:"fallback_funcs,omitempty"`
 }
 
 // SiteDecision is the per-call-site Decision record.
@@ -96,6 +107,15 @@ const RulePrimitive = "primitive"
 // versions.
 func (r *Result) Explain(source string) *ExplainReport {
 	rep := &ExplainReport{Schema: ExplainSchema, Source: source}
+	if r.Heap != nil {
+		note := &AnalysisNote{Contexts: r.Heap.AnalysisStats().Contexts}
+		for name, n := range r.Heap.BudgetFallbacks {
+			note.BudgetFallbacks += n
+			note.FallbackFuncs = append(note.FallbackFuncs, name)
+		}
+		sort.Strings(note.FallbackFuncs)
+		rep.Analysis = note
+	}
 	for _, si := range r.Sites {
 		rep.Sites = append(rep.Sites, r.siteDecision(si))
 	}
@@ -225,6 +245,10 @@ func (rep *ExplainReport) Format() string {
 	var b strings.Builder
 	if rep.Source != "" {
 		fmt.Fprintf(&b, "== explain: %s ==\n", rep.Source)
+	}
+	if rep.Analysis != nil && rep.Analysis.BudgetFallbacks > 0 {
+		fmt.Fprintf(&b, "analysis: %d call sites demoted by the context budget (%s)\n",
+			rep.Analysis.BudgetFallbacks, strings.Join(rep.Analysis.FallbackFuncs, ", "))
 	}
 	for _, d := range rep.Sites {
 		fmt.Fprintf(&b, "call site %s", d.Site)

@@ -190,6 +190,56 @@ func CompareTracing(base, cur *BenchReport) []string {
 	return lines
 }
 
+// CompareCost gates the analysis-cost section. The structure and
+// precision counters (functions, regions, contexts, nodes, kills,
+// iterations) are deterministic functions of the pinned corpus and
+// must match the baseline exactly — any drift means the analysis
+// result itself changed. The incremental invariant (one edit
+// re-analyzes under 10% of the corpus) is asserted absolutely, like
+// the chain invariants. Cold wall time gets a deliberately generous
+// 10x tolerance: it only exists to catch asymptotic blowups, not
+// machine noise. Either report missing the section (old baselines)
+// compares empty.
+func CompareCost(base, cur *BenchReport) []string {
+	if base.Cost == nil || cur.Cost == nil {
+		return nil
+	}
+	b, c := base.Cost, cur.Cost
+	var lines []string
+	exact := []struct {
+		name       string
+		base, curv int
+	}{
+		{"functions", b.Functions, c.Functions},
+		{"sccs", b.SCCs, c.SCCs},
+		{"components", b.Components, c.Components},
+		{"waves", b.Waves, c.Waves},
+		{"contexts", b.Contexts, c.Contexts},
+		{"nodes", b.Nodes, c.Nodes},
+		{"strong_kills", b.StrongKills, c.StrongKills},
+		{"iterations", b.Iterations, c.Iterations},
+		{"budget_fallbacks", b.BudgetFallbacks, c.BudgetFallbacks},
+	}
+	for _, e := range exact {
+		if e.base != e.curv {
+			lines = append(lines, fmt.Sprintf(
+				"cost: %s %d -> %d (deterministic counter must match baseline)",
+				e.name, e.base, e.curv))
+		}
+	}
+	if c.ReanalyzedFraction >= 0.10 {
+		lines = append(lines, fmt.Sprintf(
+			"cost: one-function edit re-analyzed %.1f%% of the corpus, want < 10%%",
+			100*c.ReanalyzedFraction))
+	}
+	if b.ColdWallNS > 0 && c.ColdWallNS > 10*b.ColdWallNS {
+		lines = append(lines, fmt.Sprintf(
+			"cost: cold analysis wall %dns exceeds 10x baseline %dns",
+			c.ColdWallNS, b.ColdWallNS))
+	}
+	return lines
+}
+
 // DecisionCounts are the verdict totals of one optimizer decision
 // report: live call sites, elided cycle checks (argument and return
 // directions both count), and buffer-reuse grants (arguments and

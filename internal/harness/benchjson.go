@@ -74,6 +74,11 @@ type BenchReport struct {
 	// over a pipelined three-node chain. Optional section, gated by
 	// benchdiff only when both reports carry it.
 	Tracing *TracingRow `json:"tracing,omitempty"`
+	// Cost holds the analysis-cost measurement over the pinned
+	// generated corpus (analysis.go): the scheduler/cache economics
+	// behind `make verify-analysis`. Optional section, gated by
+	// benchdiff only when both reports carry it.
+	Cost *CostRow `json:"cost,omitempty"`
 }
 
 // Row finds a measurement by workload and level (nil if absent).
@@ -273,6 +278,11 @@ func RunBench(spec BenchSpec) (*BenchReport, error) {
 		return nil, err
 	}
 	report.Tracing = trow
+	cost, err := RunAnalysisCost()
+	if err != nil {
+		return nil, err
+	}
+	report.Cost = cost
 	return report, nil
 }
 

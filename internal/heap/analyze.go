@@ -2,7 +2,9 @@ package heap
 
 import (
 	"sort"
+	"time"
 
+	"cormi/internal/heap/sched"
 	"cormi/internal/ir"
 	"cormi/internal/lang"
 )
@@ -18,9 +20,83 @@ func Analyze(prog *ir.Program) *Analysis {
 	return AnalyzeOpts(prog, DefaultOptions())
 }
 
-// AnalyzeOpts runs the heap analysis with explicit precision options.
+// AnalyzeOpts is the scalable analysis driver (DESIGN.md §16). It
+// partitions the program into independent analysis regions (weakly
+// connected components of the call + shared-static graph, computed by
+// internal/heap/sched), solves each region to fixpoint — concurrently
+// across Options.Workers, loading regions whose content key hits the
+// summary cache instead of re-solving them — and merges the parts
+// into one program-wide Analysis.
 //
-// With strong updates enabled the analysis runs in two passes: the
+// The merge is what makes parallelism and caching invisible: regions
+// share no analysis state (facts flow only along call edges and
+// shared statics, both region-internal by construction), each region
+// is solved by the same deterministic sequential engine, and the
+// merged node/context numbering depends only on the deterministic
+// region order. A run at any worker count, cold or warm, is therefore
+// bit-identical to the sequential cold run — the invariant `make
+// verify-analysis` enforces.
+func AnalyzeOpts(prog *ir.Program, opts Options) *Analysis {
+	start := time.Now()
+	plan := sched.BuildPlan(prog)
+	nc := len(plan.Components)
+	parts := make([]*Analysis, nc)
+	loaded := make([]bool, nc)
+
+	var cache *sched.Cache
+	var hashes *sched.Hashes
+	if opts.CacheDir != "" {
+		cache = sched.Open(opts.CacheDir)
+		hashes = plan.Hashes(opts.fingerprint())
+	}
+	workers := opts.workers()
+	sched.Run(nc, workers, func(ci int) {
+		if cache != nil {
+			if payload, ok := cache.Load(hashes.Component[ci]); ok {
+				if part := decodeComponent(prog, plan, ci, opts, payload); part != nil {
+					parts[ci] = part
+					loaded[ci] = true
+					return
+				}
+			}
+		}
+		part := solveComponent(prog, plan, ci, opts)
+		parts[ci] = part
+		if cache != nil {
+			cache.Store(hashes.Component[ci], encodeComponent(plan, ci, part))
+		}
+	})
+	if cache != nil {
+		cache.WriteManifest(plan, hashes)
+	}
+
+	a := mergeParts(prog, opts, parts)
+	a.Cost = CostStats{
+		Functions:  len(prog.Funcs),
+		SCCs:       len(plan.SCCs),
+		Components: nc,
+		Waves:      plan.Waves,
+		Workers:    workers,
+	}
+	for ci, comp := range plan.Components {
+		if loaded[ci] {
+			a.Cost.CacheHits++
+			a.Cost.FuncsLoaded += len(comp.Funcs)
+		} else {
+			if cache != nil {
+				a.Cost.CacheMisses++
+			}
+			a.Cost.FuncsAnalyzed += len(comp.Funcs)
+		}
+	}
+	a.Cost.fillFromAnalysis(a)
+	a.Cost.WallNS = time.Since(start).Nanoseconds()
+	return a
+}
+
+// solveComponent solves one region with the sequential engine.
+//
+// With strong updates enabled the region runs in two passes: the
 // first pass is a standard weak-update fixpoint; its final (sound,
 // over-approximate) points-to sets justify a kill set of dead stores;
 // the second pass re-runs the full fixpoint with killed stores
@@ -28,8 +104,19 @@ func Analyze(prog *ir.Program) *Analysis {
 // are subsets of the first pass's — every singleton that justified a
 // kill stays a singleton (or shrinks to empty), keeping the kills
 // justified against the final result.
-func AnalyzeOpts(prog *ir.Program, opts Options) *Analysis {
-	a := runAnalysis(prog, opts, nil)
+func solveComponent(prog *ir.Program, plan *sched.Plan, ci int, opts Options) *Analysis {
+	comp := plan.Components[ci]
+	funcs := make([]*ir.Func, len(comp.Order))
+	for i, fi := range comp.Order {
+		funcs[i] = plan.Funcs[fi]
+	}
+	recursive := map[*ir.Func]bool{}
+	for _, fi := range comp.Funcs {
+		if plan.Recursive[fi] {
+			recursive[plan.Funcs[fi]] = true
+		}
+	}
+	a := runAnalysis(prog, opts, funcs, recursive, nil)
 	if !opts.StrongUpdates {
 		return a
 	}
@@ -37,18 +124,25 @@ func AnalyzeOpts(prog *ir.Program, opts Options) *Analysis {
 	if len(kills) == 0 {
 		return a
 	}
-	b := runAnalysis(prog, opts, kills)
+	b := runAnalysis(prog, opts, funcs, recursive, kills)
 	b.StrongKills = len(kills)
 	return b
 }
 
-// runAnalysis is one complete fixpoint run: context prepass, then
-// chaotic iteration over every (function, live context, instruction)
-// triple until nothing changes.
-func runAnalysis(prog *ir.Program, opts Options, killed map[instrCtx]bool) *Analysis {
+// runAnalysis is one complete fixpoint run over one function subset:
+// context prepass, then chaotic iteration over every (function, live
+// context, instruction) triple until nothing changes. funcs is the
+// region's bottom-up wave order — callees are visited before callers
+// within each pass, so summaries usually stabilize in fewer passes
+// than the old whole-program source order needed, and the order is a
+// fixed input, keeping node discovery (and so all numbering)
+// deterministic.
+func runAnalysis(prog *ir.Program, opts Options, funcs []*ir.Func, recursive map[*ir.Func]bool, killed map[instrCtx]bool) *Analysis {
 	a := &Analysis{
 		Prog:       prog,
 		Opts:       opts,
+		funcs:      funcs,
+		recursive:  recursive,
 		pts:        make(map[valCtx]NodeSet),
 		ptsAll:     make(map[*ir.Value]NodeSet),
 		globals:    make(map[*lang.FieldDecl]NodeSet),
@@ -60,7 +154,7 @@ func runAnalysis(prog *ir.Program, opts Options, killed map[instrCtx]bool) *Anal
 	a.buildContexts()
 	for {
 		a.changed = false
-		for _, f := range prog.Funcs {
+		for _, f := range a.funcs {
 			for _, c := range a.ctxsOf[f] {
 				for _, b := range f.Blocks {
 					for _, in := range b.Instrs {

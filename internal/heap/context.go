@@ -16,14 +16,21 @@ import (
 //     cannot separate the unboundedly many activations anyway;
 //   - calls to functions with more direct call sites than
 //     Options.ContextBudget bind MergedCtx too, bounding the number of
-//     contexts (and hence analysis cost) linearly in the budget;
+//     contexts (and hence analysis cost) linearly in the budget. Each
+//     such demotion is COUNTED in BudgetFallbacks: budget exhaustion
+//     is a precision cliff and must be observable, not silent;
 //   - remote calls always bind MergedCtx: the RMI boundary already
 //     separates call sites through per-site clone contexts (ArgCtx /
 //     RetCtx), so a second separation would only duplicate nodes.
 //
-// Contexts are numbered in program order (function, block,
-// instruction), which makes node IDs and therefore every downstream
-// witness byte-stable across runs.
+// The prepass runs over a.funcs — one analysis region while solving —
+// and contexts are numbered in the region's deterministic function
+// order, which makes node IDs and therefore every downstream witness
+// byte-stable across runs, worker counts, and cache states. Recursion
+// flags come from the scheduler's whole-program plan (a.recursive is
+// filled before this runs): a region sees every direct-call cycle it
+// participates in, and cycles never span regions, so the per-region
+// view equals the whole-program view.
 //
 // A function's merged context is only analyzed when something can
 // actually bind into it: the function has no in-program callers (an
@@ -35,14 +42,16 @@ func (a *Analysis) buildContexts() {
 	prog := a.Prog
 	a.ctxsOf = map[*ir.Func][]Ctx{}
 	a.ctxOfCall = map[*ir.Instr]Ctx{}
-	a.recursive = map[*ir.Func]bool{}
 	a.hasCaller = map[*ir.Func]bool{}
+	a.BudgetFallbacks = map[string]int{}
 	a.ctxSite = []*ir.Instr{nil} // MergedCtx has no call site
+	if a.recursive == nil {
+		a.recursive = map[*ir.Func]bool{}
+	}
 
 	directSites := map[*ir.Func]int{}
 	remoteTarget := map[*ir.Func]bool{}
-	edges := map[*ir.Func][]*ir.Func{}
-	for _, f := range prog.Funcs {
+	for _, f := range a.funcs {
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				if in.Op != ir.OpCall && in.Op != ir.OpRemoteCall {
@@ -58,16 +67,14 @@ func (a *Analysis) buildContexts() {
 					continue
 				}
 				directSites[callee]++
-				edges[f] = append(edges[f], callee)
 			}
 		}
 	}
-	a.markRecursive(edges)
 
 	budget := a.Opts.budget()
 	mergedBound := map[*ir.Func]bool{}
 	dedicated := map[*ir.Func][]Ctx{}
-	for _, f := range prog.Funcs {
+	for _, f := range a.funcs {
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				if in.Op != ir.OpCall {
@@ -80,6 +87,9 @@ func (a *Analysis) buildContexts() {
 				if !a.Opts.ContextSensitive || a.recursive[callee] || directSites[callee] > budget {
 					a.ctxOfCall[in] = MergedCtx
 					mergedBound[callee] = true
+					if a.Opts.ContextSensitive && !a.recursive[callee] && directSites[callee] > budget {
+						a.BudgetFallbacks[in.Callee.QualifiedName()]++
+					}
 					continue
 				}
 				c := Ctx(len(a.ctxSite))
@@ -90,69 +100,12 @@ func (a *Analysis) buildContexts() {
 		}
 	}
 
-	for _, f := range prog.Funcs {
+	for _, f := range a.funcs {
 		var ctxs []Ctx
 		if !a.hasCaller[f] || remoteTarget[f] || mergedBound[f] {
 			ctxs = append(ctxs, MergedCtx)
 		}
 		ctxs = append(ctxs, dedicated[f]...)
 		a.ctxsOf[f] = ctxs
-	}
-}
-
-// markRecursive flags every function on a direct-call cycle (Tarjan
-// SCCs of size > 1, plus direct self-calls).
-func (a *Analysis) markRecursive(edges map[*ir.Func][]*ir.Func) {
-	index := map[*ir.Func]int{}
-	low := map[*ir.Func]int{}
-	onStack := map[*ir.Func]bool{}
-	var stack []*ir.Func
-	next := 0
-	var strong func(f *ir.Func)
-	strong = func(f *ir.Func) {
-		index[f] = next
-		low[f] = next
-		next++
-		stack = append(stack, f)
-		onStack[f] = true
-		for _, g := range edges[f] {
-			if _, seen := index[g]; !seen {
-				strong(g)
-				if low[g] < low[f] {
-					low[f] = low[g]
-				}
-			} else if onStack[g] && index[g] < low[f] {
-				low[f] = index[g]
-			}
-		}
-		if low[f] == index[f] {
-			var scc []*ir.Func
-			for {
-				g := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[g] = false
-				scc = append(scc, g)
-				if g == f {
-					break
-				}
-			}
-			if len(scc) > 1 {
-				for _, g := range scc {
-					a.recursive[g] = true
-				}
-			}
-		}
-	}
-	for _, f := range a.Prog.Funcs {
-		if _, seen := index[f]; !seen {
-			strong(f)
-		}
-	}
-	for f, gs := range edges {
-		for _, g := range gs {
-			if g == f {
-				a.recursive[f] = true
-			}
-		}
 	}
 }

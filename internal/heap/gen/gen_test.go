@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"cormi/internal/ir"
+	"cormi/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := lang.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := ir.Lower(cp)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+// The generated corpus must be valid MiniJP at every scale the gates
+// use, and deterministic for a fixed config.
+func TestGenerateCompilesAndIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Components: 5, FuncsPerComponent: 8}
+	c1 := Generate(cfg)
+	c2 := Generate(cfg)
+	if c1.Source != c2.Source {
+		t.Fatal("same config produced different sources")
+	}
+	p := compile(t, c1.Source)
+	// 8 app helpers + take + get per component.
+	if want := 5 * (8 + 2); len(p.Funcs) != want {
+		t.Fatalf("got %d bodied funcs, want %d", len(p.Funcs), want)
+	}
+	if len(c1.Funcs) != 5*8 {
+		t.Fatalf("got %d listed funcs, want %d", len(c1.Funcs), 5*8)
+	}
+}
+
+// An edit must change exactly one function body and nothing else.
+func TestEditIsSingleFunction(t *testing.T) {
+	cfg := Config{Seed: 7, Components: 3, FuncsPerComponent: 8}
+	base := Generate(cfg)
+	cfg.Edits = map[string]int{"C1App.f4": 1000}
+	edited := Generate(cfg)
+	if base.Source == edited.Source {
+		t.Fatal("edit did not change the source")
+	}
+	bl := strings.Split(base.Source, "\n")
+	el := strings.Split(edited.Source, "\n")
+	if len(bl) != len(el) {
+		t.Fatalf("edit changed line count: %d vs %d", len(bl), len(el))
+	}
+	diff := 0
+	for i := range bl {
+		if bl[i] != el[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("edit changed %d lines, want exactly 1", diff)
+	}
+	compile(t, edited.Source)
+}
+
+// ExtraCalls must add a call edge and still compile.
+func TestExtraCallCompiles(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Components: 2, FuncsPerComponent: 8,
+		ExtraCalls: map[string]bool{"C0App.f4": true},
+	}
+	c := Generate(cfg)
+	if !strings.Contains(c.Source, "C0App.f7(d + 1)") {
+		t.Fatal("extra call edge missing from source")
+	}
+	compile(t, c.Source)
+}

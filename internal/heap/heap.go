@@ -39,9 +39,11 @@ package heap
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
+	"cormi/internal/heap/sched"
 	"cormi/internal/ir"
 	"cormi/internal/lang"
 )
@@ -64,7 +66,11 @@ const MergedCtx Ctx = 0
 // sites through its merged summary instead.
 const DefaultContextBudget = 16
 
-// Options selects the analysis precision/cost trade-offs.
+// Options selects the analysis precision/cost trade-offs, plus the
+// scheduling knobs of the parallel/incremental driver. Only the
+// precision fields may influence analysis RESULTS; Workers and
+// CacheDir are pure accelerators, and the determinism gate
+// (`make verify-analysis`) pins that they change nothing observable.
 type Options struct {
 	// ContextSensitive enables 1-call-site-sensitive interprocedural
 	// analysis (per-call-site callee summaries).
@@ -75,6 +81,14 @@ type Options struct {
 	// ContextBudget caps dedicated contexts per callee (0 means
 	// DefaultContextBudget).
 	ContextBudget int
+	// Workers bounds the worker pool solving independent analysis
+	// regions concurrently (0 means GOMAXPROCS, 1 forces sequential).
+	Workers int
+	// CacheDir, when non-empty, enables the persistent summary cache
+	// (conventionally a `.cormi-cache` directory): regions whose
+	// content key matches a cached summary are loaded instead of
+	// re-solved.
+	CacheDir string
 }
 
 // DefaultOptions is the production configuration: both refinements on.
@@ -91,6 +105,25 @@ func (o Options) budget() int {
 		return DefaultContextBudget
 	}
 	return o.ContextBudget
+}
+
+// workers resolves the effective worker-pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fingerprint digests the result-affecting options only — the summary
+// cache must be oblivious to Workers and CacheDir, which by the
+// determinism contract cannot change any analysis fact.
+func (o Options) fingerprint() uint64 {
+	h := sched.NewHasher()
+	h.Bool(o.ContextSensitive)
+	h.Bool(o.StrongUpdates)
+	h.Uint(uint64(o.budget()))
+	return h.Sum()
 }
 
 // ElemKey is the pseudo-field naming array element edges (the "[]"
@@ -210,10 +243,19 @@ type instrCtx struct {
 	c  Ctx
 }
 
-// Analysis is the computed heap graph.
+// Analysis is the computed heap graph. During solving each analysis
+// region (sched.Component) is one private Analysis with local node and
+// context numbering; mergeParts stitches the parts into the single
+// program-wide Analysis callers see, with numbering that depends only
+// on the deterministic region order — never on scheduling.
 type Analysis struct {
 	Prog *ir.Program
 	Opts Options
+
+	// funcs is the function subset this Analysis covers, in fixpoint
+	// iteration order (one region's bottom-up wave order while
+	// solving; prog.Funcs after the merge).
+	funcs []*ir.Func
 
 	Nodes []*Node
 
@@ -241,8 +283,22 @@ type Analysis struct {
 
 	changed bool
 	// Iterations records how many fixpoint passes were needed (a
-	// termination witness for the Figure 3/4 scenario).
+	// termination witness for the Figure 3/4 scenario). After the
+	// merge it is the maximum over regions — the critical-path pass
+	// count, which is what a parallel run actually waits for.
 	Iterations int
+
+	// BudgetFallbacks counts, per callee qualified name, the direct
+	// call sites demoted to MergedCtx because the callee's dedicated-
+	// context count exceeded Options.ContextBudget (satellite fix of
+	// ISSUE 10: budget exhaustion used to be silent). Recursion and
+	// ContextSensitive=false demotions are NOT counted — those are
+	// semantic, not budget pressure.
+	BudgetFallbacks map[string]int
+
+	// Cost is the driver's cost model for the whole run (CostStats is
+	// exported through `rmic -analysis-stats` and gated in CI).
+	Cost CostStats
 }
 
 // Stats summarizes the analysis cost for the verdict matrix.

@@ -1,0 +1,190 @@
+package heap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cormi/internal/heap/gen"
+)
+
+// The incremental-mode invariants (ISSUE 10 satellite 3): an edit
+// re-analyzes exactly the edited function's region (recursive SCCs and
+// all), edge changes rewire the invalidation cone, stale or mangled
+// cache entries read as misses, and every warm result is bit-identical
+// to a cold run of the same program.
+
+func cachedOpts(dir string, workers int) Options {
+	o := DefaultOptions()
+	o.CacheDir = dir
+	o.Workers = workers
+	return o
+}
+
+// run compiles a generated corpus and analyzes it with the given
+// options, returning the merged analysis.
+func run(t *testing.T, cfg gen.Config, opts Options) *Analysis {
+	t.Helper()
+	a, _ := analyzeOpts(t, gen.Generate(cfg).Source, opts)
+	return a
+}
+
+// An edit to one member of a recursive pair must invalidate exactly
+// that component — the whole SCC re-analyzes, everything else loads.
+func TestIncrementalRecursiveSCCEdit(t *testing.T) {
+	cfg := gen.Config{Seed: 11, Components: 4, FuncsPerComponent: 8}
+	dir := t.TempDir()
+
+	cold := run(t, cfg, cachedOpts(dir, 1))
+	if cold.Cost.CacheMisses != 4 || cold.Cost.CacheHits != 0 {
+		t.Fatalf("cold: hits=%d misses=%d, want 0/4", cold.Cost.CacheHits, cold.Cost.CacheMisses)
+	}
+
+	// C2App.f1 is one half of the component-2 recursive pair.
+	cfg.Edits = map[string]int{"C2App.f1": 5000}
+	warm := run(t, cfg, cachedOpts(dir, 1))
+	if warm.Cost.CacheHits != 3 || warm.Cost.CacheMisses != 1 {
+		t.Fatalf("warm: hits=%d misses=%d, want 3/1", warm.Cost.CacheHits, warm.Cost.CacheMisses)
+	}
+	// The component has 8 helpers + take + get bodied functions.
+	if warm.Cost.FuncsAnalyzed != 10 {
+		t.Fatalf("warm re-analyzed %d funcs, want 10 (the edited region)", warm.Cost.FuncsAnalyzed)
+	}
+
+	fresh := run(t, cfg, DefaultOptions())
+	if warm.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("warm incremental result differs from cold uncached run")
+	}
+}
+
+// Editing a leaf must invalidate its callers' summaries (the hash
+// propagates bottom-up), observed here as the whole region missing.
+func TestIncrementalLeafEditInvalidatesCone(t *testing.T) {
+	cfg := gen.Config{Seed: 13, Components: 3, FuncsPerComponent: 6}
+	dir := t.TempDir()
+	run(t, cfg, cachedOpts(dir, 1))
+
+	cfg.Edits = map[string]int{"C0App.f5": 9000} // leaf of component 0
+	warm := run(t, cfg, cachedOpts(dir, 1))
+	if warm.Cost.CacheHits != 2 || warm.Cost.CacheMisses != 1 {
+		t.Fatalf("warm: hits=%d misses=%d, want 2/1", warm.Cost.CacheHits, warm.Cost.CacheMisses)
+	}
+	fresh := run(t, cfg, DefaultOptions())
+	if warm.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("warm result differs from cold run of edited program")
+	}
+}
+
+// Adding a call edge is a miss for the owning region; removing it
+// again must hit the ORIGINAL cold entry still sitting in the cache.
+func TestIncrementalEdgeAddRemove(t *testing.T) {
+	base := gen.Config{Seed: 17, Components: 3, FuncsPerComponent: 8}
+	dir := t.TempDir()
+	run(t, base, cachedOpts(dir, 1))
+
+	added := base
+	added.ExtraCalls = map[string]bool{"C1App.f4": true}
+	warm := run(t, added, cachedOpts(dir, 1))
+	if warm.Cost.CacheHits != 2 || warm.Cost.CacheMisses != 1 {
+		t.Fatalf("edge add: hits=%d misses=%d, want 2/1", warm.Cost.CacheHits, warm.Cost.CacheMisses)
+	}
+	fresh := run(t, added, DefaultOptions())
+	if warm.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("edge-add warm result differs from cold run")
+	}
+
+	back := run(t, base, cachedOpts(dir, 1))
+	if back.Cost.CacheHits != 3 || back.Cost.CacheMisses != 0 {
+		t.Fatalf("edge remove: hits=%d misses=%d, want 3/0", back.Cost.CacheHits, back.Cost.CacheMisses)
+	}
+	freshBase := run(t, base, DefaultOptions())
+	if back.Fingerprint() != freshBase.Fingerprint() {
+		t.Fatal("edge-remove warm result differs from cold run")
+	}
+}
+
+// Precision options are part of the cache key: a run with different
+// options must not load summaries produced under the old ones.
+func TestIncrementalOptionsKeyedSeparately(t *testing.T) {
+	cfg := gen.Config{Seed: 19, Components: 2, FuncsPerComponent: 6}
+	dir := t.TempDir()
+	run(t, cfg, cachedOpts(dir, 1))
+
+	insens := InsensitiveOptions()
+	insens.CacheDir = dir
+	insens.Workers = 1
+	a, _ := analyzeOpts(t, gen.Generate(cfg).Source, insens)
+	if a.Cost.CacheHits != 0 {
+		t.Fatalf("insensitive run hit %d sensitive summaries", a.Cost.CacheHits)
+	}
+	fresh, _ := analyzeOpts(t, gen.Generate(cfg).Source, InsensitiveOptions())
+	if a.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("insensitive cached run differs from uncached")
+	}
+}
+
+// Mangled cache files must behave exactly like a cold start: all
+// misses, identical result, and the bad entries rewritten.
+func TestIncrementalCorruptedCacheIsColdStart(t *testing.T) {
+	cfg := gen.Config{Seed: 23, Components: 3, FuncsPerComponent: 6}
+	dir := t.TempDir()
+	cold := run(t, cfg, cachedOpts(dir, 1))
+
+	sums, err := filepath.Glob(filepath.Join(dir, "*.sum"))
+	if err != nil || len(sums) != 3 {
+		t.Fatalf("want 3 summary files, got %d (%v)", len(sums), err)
+	}
+	for i, path := range sums {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0: // truncate mid-payload
+			raw = raw[:len(raw)/2]
+		case 1: // flip a payload byte (checksum must catch it)
+			raw[len(raw)/2] ^= 0x20
+		case 2: // empty file
+			raw = nil
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := run(t, cfg, cachedOpts(dir, 1))
+	if warm.Cost.CacheHits != 0 || warm.Cost.CacheMisses != 3 {
+		t.Fatalf("corrupted cache: hits=%d misses=%d, want 0/3", warm.Cost.CacheHits, warm.Cost.CacheMisses)
+	}
+	if warm.Fingerprint() != cold.Fingerprint() {
+		t.Fatal("recovery run differs from original cold run")
+	}
+
+	// The rewritten entries must serve the next run.
+	again := run(t, cfg, cachedOpts(dir, 1))
+	if again.Cost.CacheHits != 3 {
+		t.Fatalf("post-recovery run: hits=%d, want 3", again.Cost.CacheHits)
+	}
+}
+
+// Worker count and cache state must never shift the result: sequential
+// cold, parallel cold, and parallel warm all share one fingerprint.
+func TestIncrementalWorkersBitIdentity(t *testing.T) {
+	cfg := gen.Config{Seed: 29, Components: 6, FuncsPerComponent: 6}
+	dir := t.TempDir()
+
+	seq := run(t, cfg, DefaultOptions()) // Workers 0 = GOMAXPROCS, no cache
+	one := run(t, cfg, cachedOpts(dir, 1))
+	par := run(t, cfg, cachedOpts(t.TempDir(), 4))
+	warmPar := run(t, cfg, cachedOpts(dir, 4))
+
+	want := seq.Fingerprint()
+	for name, a := range map[string]*Analysis{"workers=1 cold": one, "workers=4 cold": par, "workers=4 warm": warmPar} {
+		if got := a.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint %016x != sequential %016x", name, got, want)
+		}
+	}
+	if warmPar.Cost.CacheHits != 6 {
+		t.Fatalf("warm parallel run: hits=%d, want 6", warmPar.Cost.CacheHits)
+	}
+}

@@ -1,0 +1,178 @@
+package sched
+
+// The persistent summary cache: one file per analysis region under a
+// `.cormi-cache` directory, named by the region's content key. The
+// file framing is deliberately paranoid — magic, length prefix, and a
+// trailing FNV-1a checksum over the payload — and every violation is
+// reported as a plain miss: a corrupted, truncated, or foreign file
+// can cost a re-analysis but never an incorrect one. The payload
+// itself is opaque here; internal/heap's summary codec owns it (and
+// re-validates everything structurally on decode).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheMagic brands summary files; bump with summaryFormat.
+var cacheMagic = []byte("CORMISC1")
+
+// maxSummaryBytes caps a plausible summary file. Anything larger is
+// rejected unread (a length-prefix bomb, not a summary).
+const maxSummaryBytes = 1 << 28
+
+// Cache is a summary store rooted at one directory. The zero value is
+// unusable; Open creates the directory eagerly so Store failures
+// surface once, not per entry.
+type Cache struct {
+	dir string
+	ok  bool
+}
+
+// Open returns a cache rooted at dir, creating it if needed. An
+// unusable directory yields a cache whose Load always misses and
+// whose Store is a no-op — the analysis degrades to cold, never
+// fails.
+func Open(dir string) *Cache {
+	c := &Cache{dir: dir}
+	if err := os.MkdirAll(dir, 0o755); err == nil {
+		c.ok = true
+	}
+	return c
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.sum", key))
+}
+
+// Load returns the payload stored under key, or ok=false on any
+// problem whatsoever (absent, unreadable, short, bad magic, bad
+// length, bad checksum).
+func (c *Cache) Load(key uint64) ([]byte, bool) {
+	if c == nil || !c.ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	const header = 8 + 8 // magic + payload length
+	if len(data) < header+8 {
+		return nil, false
+	}
+	for i, b := range cacheMagic {
+		if data[i] != b {
+			return nil, false
+		}
+	}
+	n := binary.BigEndian.Uint64(data[8:16])
+	if n > maxSummaryBytes || int(n) != len(data)-header-8 {
+		return nil, false
+	}
+	payload := data[header : header+int(n)]
+	sum := binary.BigEndian.Uint64(data[header+int(n):])
+	if HashBytes(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Store writes payload under key, atomically (temp file + rename) so
+// a crashed writer leaves either the old entry or none — never a
+// torn file. Errors are swallowed: the cache is an accelerator, not a
+// dependency.
+func (c *Cache) Store(key uint64, payload []byte) {
+	if c == nil || !c.ok || len(payload) > maxSummaryBytes {
+		return
+	}
+	buf := make([]byte, 0, len(cacheMagic)+16+len(payload))
+	buf = append(buf, cacheMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint64(buf, HashBytes(payload))
+	tmp, err := os.CreateTemp(c.dir, "*.sum.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Manifest is the informational dependency-graph sidecar
+// (cormi-cache/1): which functions each cached region covers and the
+// hashes that key it. Nothing reads it back — invalidation always
+// recomputes keys from the current program — but it makes `.cormi-
+// cache` auditable and gives the incremental tests a stable record to
+// assert against.
+type Manifest struct {
+	Schema     string              `json:"schema"`
+	Components []ManifestComponent `json:"components"`
+}
+
+// ManifestComponent describes one region.
+type ManifestComponent struct {
+	Key   string         `json:"key"`
+	Funcs []ManifestFunc `json:"funcs"`
+}
+
+// ManifestFunc is one member function's hash record.
+type ManifestFunc struct {
+	Name        string `json:"name"`
+	IRHash      string `json:"ir_hash"`
+	SummaryHash string `json:"summary_hash"`
+}
+
+// ManifestSchema identifies the manifest format.
+const ManifestSchema = "cormi-cache/1"
+
+// WriteManifest renders the plan's current dependency graph to
+// manifest.json in the cache directory (best effort).
+func (c *Cache) WriteManifest(p *Plan, hs *Hashes) {
+	if c == nil || !c.ok {
+		return
+	}
+	m := Manifest{Schema: ManifestSchema}
+	for ci, comp := range p.Components {
+		mc := ManifestComponent{Key: fmt.Sprintf("%016x", hs.Component[ci])}
+		for _, f := range comp.Funcs {
+			mc.Funcs = append(mc.Funcs, ManifestFunc{
+				Name:        p.Funcs[f].Method.QualifiedName(),
+				IRHash:      fmt.Sprintf("%016x", hs.IR[f]),
+				SummaryHash: fmt.Sprintf("%016x", hs.Summary[f]),
+			})
+		}
+		m.Components = append(m.Components, mc)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "manifest.*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(c.dir, "manifest.json")); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,204 @@
+package sched
+
+// Content hashing for the incremental summary cache (DESIGN.md §16).
+// Three layers, each deterministic and purely syntactic:
+//
+//   - irHash(f): FNV-1a over the function's printed SSA plus its
+//     signature. The SSA rendering embeds allocation-site and
+//     remote-call-site numbers (@N / site=N), so a program edit that
+//     renumbers either — even in an untouched function — changes that
+//     function's irHash and invalidates its region.
+//   - summaryHash(f): computed bottom-up over the SCC condensation:
+//     an SCC's hash covers its members' (name, irHash) pairs and the
+//     summary hashes of every callee SCC, so a function's summary
+//     hash transitively covers its whole dependency cone (the
+//     "IR hash + callee summary hashes" key of ISSUE 10).
+//   - ComponentKey: the cache key of one region — format version,
+//     options fingerprint, the program-wide class-table fingerprint
+//     (field layouts feed points-to transfer, so any class edit
+//     invalidates everything; sound and cheap), and the members'
+//     (name, summaryHash) pairs in deterministic order.
+
+import "sort"
+
+// Hashes holds every layer's digests for one plan.
+type Hashes struct {
+	// IR and Summary are per-function, indexed like Plan.Funcs.
+	IR      []uint64
+	Summary []uint64
+	TypesFP uint64
+	// Component are the cache keys, indexed like Plan.Components.
+	Component []uint64
+}
+
+// summaryFormat names the cache payload format; bump on any change to
+// the summary codec, the numbering discipline, or the hash recipe.
+const summaryFormat = "cormi-sum/1"
+
+// Hasher is FNV-1a 64, hand-rolled so the hashing layer needs no
+// allocation and no hash.Hash plumbing.
+type Hasher uint64
+
+// NewHasher returns the FNV-1a offset basis.
+func NewHasher() Hasher { return 14695981039346656037 }
+
+const fnvPrime = 1099511628211
+
+// Byte mixes one byte.
+func (h *Hasher) Byte(b byte) {
+	*h = (*h ^ Hasher(b)) * fnvPrime
+}
+
+// String mixes a length-prefixed string (the prefix keeps "ab","c"
+// distinct from "a","bc").
+func (h *Hasher) String(s string) {
+	h.Uint(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Uint mixes a fixed-width integer.
+func (h *Hasher) Uint(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.Byte(byte(v))
+		v >>= 8
+	}
+}
+
+// Bool mixes a flag.
+func (h *Hasher) Bool(b bool) {
+	if b {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+}
+
+// Sum returns the digest.
+func (h Hasher) Sum() uint64 { return uint64(h) }
+
+// HashBytes is the one-shot FNV-1a of a raw payload (cache file
+// checksums).
+func HashBytes(data []byte) uint64 {
+	h := NewHasher()
+	for _, b := range data {
+		h.Byte(b)
+	}
+	return h.Sum()
+}
+
+// Hashes computes the full hash set for the plan's program. optsFP is
+// the caller's fingerprint of the analysis options (precision knobs
+// only — never the worker count or cache location, which must not
+// affect results).
+func (p *Plan) Hashes(optsFP uint64) *Hashes {
+	n := len(p.Funcs)
+	hs := &Hashes{IR: make([]uint64, n), Summary: make([]uint64, n)}
+
+	for i, f := range p.Funcs {
+		h := NewHasher()
+		h.String(summaryFormat)
+		m := f.Method
+		h.String(m.QualifiedName())
+		h.Bool(m.Static)
+		h.Bool(m.IsCtor)
+		h.Bool(m.Class.Remote)
+		h.String(m.Ret.String())
+		h.Uint(uint64(len(m.Params)))
+		for _, prm := range m.Params {
+			h.String(prm.Type.String())
+		}
+		h.String(f.String())
+		hs.IR[i] = h.Sum()
+	}
+
+	hs.TypesFP = p.typesFingerprint()
+
+	// SCC ids are topological enough for a bottom-up sweep when taken
+	// in wave order; WaveOf guarantees every callee SCC has a smaller
+	// wave, so one pass over SCCs sorted by (wave, id) sees callees
+	// first.
+	order := make([]int, len(p.SCCs))
+	for i := range order {
+		order[i] = i
+	}
+	sortSCCsByWave(order, p.WaveOf)
+	sccHash := make([]uint64, len(p.SCCs))
+	for _, id := range order {
+		h := NewHasher()
+		h.String(summaryFormat)
+		for _, f := range p.SCCs[id] { // members sorted by func index
+			h.String(p.Funcs[f].Method.QualifiedName())
+			h.Uint(hs.IR[f])
+		}
+		for _, callee := range p.sccCalleesOf(id) {
+			h.Uint(sccHash[callee])
+		}
+		sccHash[id] = h.Sum()
+		for _, f := range p.SCCs[id] {
+			hs.Summary[f] = sccHash[id]
+		}
+	}
+
+	hs.Component = make([]uint64, len(p.Components))
+	for ci, c := range p.Components {
+		h := NewHasher()
+		h.String(summaryFormat)
+		h.Uint(optsFP)
+		h.Uint(hs.TypesFP)
+		h.Uint(uint64(len(c.Funcs)))
+		for _, f := range c.Funcs {
+			h.String(p.Funcs[f].Method.QualifiedName())
+			h.Uint(hs.Summary[f])
+		}
+		hs.Component[ci] = h.Sum()
+	}
+	return hs
+}
+
+// typesFingerprint digests every class declaration (name, remoteness,
+// inheritance, field layout incl. static flags) in source order.
+func (p *Plan) typesFingerprint() uint64 {
+	h := NewHasher()
+	h.String(summaryFormat)
+	if p.Prog.Lang == nil || p.Prog.Lang.File == nil {
+		return h.Sum()
+	}
+	for _, cd := range p.Prog.Lang.File.Classes {
+		h.String(cd.Name)
+		h.Bool(cd.Remote)
+		h.String(cd.Extends)
+		h.Uint(uint64(len(cd.Fields)))
+		for _, fd := range cd.Fields {
+			h.String(fd.Name)
+			h.Bool(fd.Static)
+			h.String(fd.Type.String())
+		}
+	}
+	return h.Sum()
+}
+
+// sccCalleesOf recomputes the callee SCC set of one SCC (sorted,
+// deduplicated) — small enough to not be worth caching on the Plan.
+func (p *Plan) sccCalleesOf(id int) []int {
+	var out []int
+	for _, f := range p.SCCs[id] {
+		for _, g := range p.CallEdges[f] {
+			if t := p.SCCOf[g]; t != id {
+				out = append(out, t)
+			}
+		}
+	}
+	return dedupSorted(out)
+}
+
+func sortSCCsByWave(order []int, waveOf []int) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if waveOf[a] != waveOf[b] {
+			return waveOf[a] < waveOf[b]
+		}
+		return a < b
+	})
+}

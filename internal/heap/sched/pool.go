@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0..n-1) across a bounded worker pool. With workers
+// <= 1 (or a single task) it degenerates to a plain loop on the
+// calling goroutine — the sequential mode the parallel modes must be
+// bit-identical to. Task results must not depend on execution order;
+// the scheduler makes no ordering promise beyond "each index exactly
+// once".
+func Run(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

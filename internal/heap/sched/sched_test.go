@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"cormi/internal/ir"
+	"cormi/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := lang.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := ir.Lower(cp)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func funcIdx(t *testing.T, p *Plan, name string) int {
+	t.Helper()
+	for i, f := range p.Funcs {
+		if f.Method.QualifiedName() == name {
+			return i
+		}
+	}
+	t.Fatalf("no function %q in plan", name)
+	return -1
+}
+
+// Two disjoint class families with a mutually recursive pair in the
+// first: the plan must find the SCC, flag only the pair recursive,
+// order waves bottom-up, and split the program into two regions.
+const planSrc = `
+class ANode { int v; }
+class A {
+	static int leaf(int d) { return d + 1; }
+	static int r1(int d) {
+		if (d > 0) { return A.r2(d - 1); }
+		return A.leaf(d);
+	}
+	static int r2(int d) {
+		if (d > 0) { return A.r1(d - 1); }
+		return A.leaf(d);
+	}
+	static int root(int d) { return A.r1(d); }
+}
+class B {
+	static int other(int d) { return d * 2; }
+}
+`
+
+func TestBuildPlanSCCsWavesComponents(t *testing.T) {
+	p := BuildPlan(compile(t, planSrc))
+	leaf := funcIdx(t, p, "A.leaf")
+	r1 := funcIdx(t, p, "A.r1")
+	r2 := funcIdx(t, p, "A.r2")
+	root := funcIdx(t, p, "A.root")
+	other := funcIdx(t, p, "B.other")
+
+	if p.SCCOf[r1] != p.SCCOf[r2] {
+		t.Errorf("r1/r2 in different SCCs (%d, %d)", p.SCCOf[r1], p.SCCOf[r2])
+	}
+	for _, i := range []int{leaf, root, other} {
+		if p.SCCOf[i] == p.SCCOf[r1] {
+			t.Errorf("%s wrongly joined the recursive SCC", p.Funcs[i].Method.QualifiedName())
+		}
+	}
+	for i, want := range map[int]bool{leaf: false, r1: true, r2: true, root: false, other: false} {
+		if p.Recursive[i] != want {
+			t.Errorf("Recursive[%s] = %v, want %v", p.Funcs[i].Method.QualifiedName(), p.Recursive[i], want)
+		}
+	}
+	// Bottom-up: leaf below the pair, the pair below root.
+	if !(p.WaveOf[p.SCCOf[leaf]] < p.WaveOf[p.SCCOf[r1]] && p.WaveOf[p.SCCOf[r1]] < p.WaveOf[p.SCCOf[root]]) {
+		t.Errorf("waves not bottom-up: leaf=%d pair=%d root=%d",
+			p.WaveOf[p.SCCOf[leaf]], p.WaveOf[p.SCCOf[r1]], p.WaveOf[p.SCCOf[root]])
+	}
+	if len(p.Components) != 2 {
+		t.Fatalf("got %d components, want 2", len(p.Components))
+	}
+	// Each component's Order must be a permutation of its Funcs with
+	// waves ascending.
+	for ci, c := range p.Components {
+		if len(c.Order) != len(c.Funcs) {
+			t.Fatalf("component %d: order/funcs length mismatch", ci)
+		}
+		for i := 1; i < len(c.Order); i++ {
+			if p.WaveOf[p.SCCOf[c.Order[i-1]]] > p.WaveOf[p.SCCOf[c.Order[i]]] {
+				t.Errorf("component %d: solve order not wave-ascending", ci)
+			}
+		}
+	}
+}
+
+// A shared static field must couple otherwise unrelated functions into
+// one region: facts flow through the static.
+func TestSharedStaticCouplesComponents(t *testing.T) {
+	src := `
+class Node { int v; }
+class A {
+	static Node keep;
+	static void put() { A.keep = new Node(); }
+}
+class B {
+	static Node take() { return A.keep; }
+}
+`
+	p := BuildPlan(compile(t, src))
+	if len(p.Components) != 1 {
+		t.Fatalf("got %d components, want 1 (static-coupled)", len(p.Components))
+	}
+}
+
+func TestSelfRecursionFlagged(t *testing.T) {
+	src := `
+class A {
+	static int f(int d) {
+		if (d > 0) { return A.f(d - 1); }
+		return d;
+	}
+}
+`
+	p := BuildPlan(compile(t, src))
+	if !p.Recursive[funcIdx(t, p, "A.f")] {
+		t.Error("direct self-call not flagged recursive")
+	}
+}
+
+func TestPoolRunCoversAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		var hits [100]atomic.Int32
+		Run(len(hits), workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestCacheRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c := Open(dir)
+	payload := []byte("region summary payload")
+	const key = 0xdeadbeef
+
+	if _, ok := c.Load(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store(key, payload)
+	got, ok := c.Load(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("round trip: ok=%v got=%q", ok, got)
+	}
+
+	// Any mutilation of the file must read as a miss, never an error.
+	path := filepath.Join(dir, "00000000deadbeef.sum")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string][]byte{
+		"empty":     {},
+		"truncated": raw[:len(raw)-3],
+		"badmagic":  append([]byte("XXXXXXXX"), raw[8:]...),
+		"flipped": func() []byte {
+			b := append([]byte(nil), raw...)
+			b[len(b)/2] ^= 0x40
+			return b
+		}(),
+	}
+	for name, b := range mutations {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Load(key); ok {
+			t.Errorf("%s file read as a hit", name)
+		}
+	}
+}
+
+func TestCacheOpenFailureIsNoop(t *testing.T) {
+	// A file where the directory should be: Open degrades to an
+	// always-miss cache instead of failing the analysis.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Open(filepath.Join(file, "sub"))
+	c.Store(1, []byte("x"))
+	if _, ok := c.Load(1); ok {
+		t.Error("degraded cache returned a hit")
+	}
+}
+
+// Editing one function must change its IR hash, its SCC's summary
+// hash, and the summary hash of every transitive caller — and nothing
+// else. This is the invalidation cone the incremental mode rests on.
+func TestSummaryHashPropagation(t *testing.T) {
+	src := func(leafConst int) string {
+		return `
+class A {
+	static int leaf(int d) { return d + ` + string(rune('0'+leafConst)) + `; }
+	static int mid(int d) { return A.leaf(d); }
+	static int root(int d) { return A.mid(d); }
+	static int lone(int d) { return d; }
+}
+`
+	}
+	p1 := BuildPlan(compile(t, src(1)))
+	p2 := BuildPlan(compile(t, src(2)))
+	h1 := p1.Hashes(0)
+	h2 := p2.Hashes(0)
+	changed := map[string]bool{"A.leaf": true, "A.mid": true, "A.root": true, "A.lone": false}
+	for name, want := range changed {
+		i1, i2 := funcIdx(t, p1, name), funcIdx(t, p2, name)
+		if (h1.IR[i1] != h2.IR[i2]) != (name == "A.leaf") {
+			t.Errorf("%s: IR hash changed=%v, want %v", name, h1.IR[i1] != h2.IR[i2], name == "A.leaf")
+		}
+		if got := h1.Summary[p1.SCCOf[i1]] != h2.Summary[p2.SCCOf[i2]]; got != want {
+			t.Errorf("%s: summary hash changed=%v, want %v", name, got, want)
+		}
+	}
+	// The component key covers all members, so it must change too.
+	if h1.Component[0] == h2.Component[0] {
+		t.Error("component key did not change on a member edit")
+	}
+	// Precision options are part of every key.
+	if p1.Hashes(1).Component[0] == h1.Component[0] {
+		t.Error("component key ignores the options fingerprint")
+	}
+}

@@ -32,7 +32,7 @@ import (
 // subsets of the first pass's and every singleton stays a singleton.
 func (a *Analysis) computeKills() map[instrCtx]bool {
 	kills := map[instrCtx]bool{}
-	for _, f := range a.Prog.Funcs {
+	for _, f := range a.funcs {
 		for _, c := range a.ctxsOf[f] {
 			for _, b := range f.Blocks {
 				a.killsInBlock(b, c, kills)
